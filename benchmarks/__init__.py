@@ -1,0 +1,2 @@
+"""Benchmark suite: one module per paper figure/table plus micro-benchmarks
+of the core kernels.  Run with ``pytest benchmarks/ --benchmark-only``."""

@@ -1,0 +1,22 @@
+"""Benchmark fixtures.
+
+The full-fidelity case-study context (14 clips × 72 frames, the paper's
+scale) is built once per benchmark session and shared by every case-study
+benchmark; building it is itself benchmarked by
+``test_bench_prepare_case_study``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import case_study_context
+
+#: Full-fidelity settings used by all case-study benchmarks.
+FRAMES = 72
+
+
+@pytest.fixture(scope="session")
+def full_context():
+    """The paper-scale case-study context (built once, ~30 s)."""
+    return case_study_context(frames=FRAMES)

@@ -1,0 +1,29 @@
+"""A1/A2 — ablations: buffer-size sweep and demand-variability sweep."""
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import ablation_buffer, ablation_variability
+
+
+def test_bench_ablation_buffer(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: ablation_buffer.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    # larger buffer -> lower (or equal) frequency, both methods
+    f_gammas = [r["f_gamma"] for r in rows]
+    f_wcets = [r["f_wcet"] for r in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(f_gammas, f_gammas[1:]))
+    assert all(a >= b - 1e-6 for a, b in zip(f_wcets, f_wcets[1:]))
+    assert all(r["f_gamma"] <= r["f_wcet"] + 1e-6 for r in rows)
+    print("\n" + str(result))
+
+
+def test_bench_ablation_variability(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_variability.run(frames=24), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    # more variability -> higher WCET ratio -> larger saving
+    assert rows[-1]["wcet_ratio"] > rows[0]["wcet_ratio"]
+    assert rows[-1]["savings"] > rows[0]["savings"]
+    print("\n" + str(result))

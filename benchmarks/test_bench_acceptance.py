@@ -1,0 +1,19 @@
+"""A5 — acceptance-ratio sweep benchmark."""
+
+from repro.experiments import acceptance_table
+
+
+def test_bench_acceptance_table(benchmark):
+    result = benchmark.pedantic(
+        lambda: acceptance_table.run(sets_per_point=40), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    assert all(r["curves_acceptance"] >= r["classic_acceptance"] for r in rows)
+    # the population-level gain: a visible acceptance gap past U = 1
+    gaps = [
+        r["curves_acceptance"] - r["classic_acceptance"]
+        for r in rows
+        if r["utilization"] > 1.0
+    ]
+    assert max(gaps) > 0.3
+    print("\n" + str(result))

@@ -1,0 +1,17 @@
+"""E7 — backlog bounds: eq. (6) closed form and the eq. (7) refinement."""
+
+import math
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import backlog_bounds
+
+
+def test_bench_backlog_bounds(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: backlog_bounds.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    assert result.data["analytic"] == result.data["expected"]
+    # ordering: simulation <= curve bound <= wcet bound (possibly infinite)
+    assert result.data["sim_max"] <= result.data["bound_curves"] + 1e-9
+    assert result.data["bound_curves"] <= result.data["bound_wcet"] + 1e-9
+    print("\n" + str(result))

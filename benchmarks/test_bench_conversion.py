@@ -1,0 +1,13 @@
+"""E8 — Figure 4: event/cycle conversion composition."""
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import conversion_demo
+
+
+def test_bench_conversion(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: conversion_demo.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    assert result.data["galois_ok"]
+    assert result.data["tightening_at_1s"] > 0.2
+    print("\n" + str(result))

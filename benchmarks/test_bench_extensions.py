@@ -1,0 +1,54 @@
+"""A3/A4 extension experiments and the chain analysis as benchmarks."""
+
+import numpy as np
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import power_table, shaper_table
+
+
+def test_bench_power_table(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: power_table.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    rows = {r["exponent"]: r["power_saving"] for r in result.data["rows"]}
+    assert rows[3.0] > rows[2.0] > rows[1.0] > 0.4
+    print("\n" + str(result))
+
+
+def test_bench_shaper_table(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: shaper_table.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    rows = result.data["rows"]
+    freqs = [r["f_gamma"] for r in rows]
+    assert all(a >= b - 1e-6 for a, b in zip(freqs, freqs[1:]))
+    print("\n" + str(result))
+
+
+def test_bench_chain_analysis(benchmark, full_context):
+    """Compositional two-node analysis on the full-fidelity curves."""
+    from repro.analysis.chain import ProcessingNode, StreamingChain
+    from repro.curves.service import full_processor
+
+    ctx = full_context
+    chain = StreamingChain(
+        [
+            ProcessingNode(
+                "PE2", full_processor(ctx.f_gamma.frequency * 1.05), ctx.gamma_u
+            )
+        ]
+    )
+    report = benchmark(chain.analyze, ctx.alpha)
+    assert report.nodes[0].backlog_events <= ctx.buffer_size * 4
+    assert report.nodes[0].utilization < 1.0
+
+
+def test_bench_ladder_table(benchmark, full_context):
+    from repro.experiments import ladder_table
+
+    result = benchmark.pedantic(
+        lambda: ladder_table.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    f_mins = [r["f_min"] for r in result.data["rows"]]
+    assert f_mins[0] >= f_mins[1] >= f_mins[2]
+    print("\n" + str(result))

@@ -1,0 +1,10 @@
+"""E1 — regenerate Figure 1 (typed sequence, windowed demand sums)."""
+
+from repro.experiments import fig1_sequence
+
+
+def test_bench_fig1(benchmark):
+    result = benchmark(fig1_sequence.run)
+    assert result.data["gamma_b_3_4"] == 5.0
+    assert result.data["gamma_w_3_4"] == 13.0
+    print("\n" + str(result))

@@ -1,0 +1,14 @@
+"""E2 — regenerate Figure 2 (polling-task workload curves)."""
+
+import numpy as np
+
+from repro.experiments import fig2_polling
+
+
+def test_bench_fig2(benchmark):
+    result = benchmark(fig2_polling.run, k_max=24)
+    u = np.array(result.data["gamma_u"])
+    w = np.array(result.data["wcet_line"])
+    assert np.all(u <= w + 1e-9)
+    assert result.data["gain_at_12"] > 0.3
+    print("\n" + str(result))

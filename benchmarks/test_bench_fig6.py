@@ -1,0 +1,22 @@
+"""E4 — regenerate Figure 6 (MPEG-2 workload curves vs WCET/BCET)."""
+
+import numpy as np
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import fig6_workload_curves
+
+
+def test_bench_fig6(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: fig6_workload_curves.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    ks = np.array(result.data["k"])
+    u = np.array(result.data["gamma_u"])
+    l = np.array(result.data["gamma_l"])
+    # Figure 6 shape: gamma curves nest strictly inside the WCET/BCET cone
+    assert np.all(l <= u + 1e-6)
+    assert np.all(u <= ks * result.data["wcet"] + 1e-6)
+    assert np.all(l >= ks * result.data["bcet"] - 1e-6)
+    # strong variability: WCET well above the long-run per-event demand
+    assert result.data["wcet_ratio"] > 1.8
+    print("\n" + str(result))

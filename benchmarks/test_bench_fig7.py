@@ -1,0 +1,20 @@
+"""E6 — regenerate Figure 7 (simulated FIFO backlogs at F_gamma_min)."""
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import fig7_backlogs
+
+
+def test_bench_fig7(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: fig7_backlogs.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    norms = result.data["normalized_backlogs"]
+    assert len(norms) == 14
+    # the guarantee: no clip may overflow the buffer at F_gamma_min
+    assert not result.data["any_overflow"]
+    assert max(norms) <= 1.0
+    # the bound is exercised: busy clips use a visible share of the buffer
+    # while quiet clips stay near zero (the Figure 7 spread)
+    assert max(norms) > 0.05
+    assert min(norms) < 0.05
+    print("\n" + str(result))

@@ -1,0 +1,24 @@
+"""E5 — the headline table: F_gamma_min vs F_wcet_min (eqs. (9)/(10)).
+
+Paper: 340 MHz vs 710 MHz, "over 50% of savings".
+"""
+
+from benchmarks.conftest import FRAMES
+from repro.experiments import freq_table
+
+
+def test_bench_freq_table(benchmark, full_context):
+    result = benchmark.pedantic(
+        lambda: freq_table.run(frames=FRAMES), rounds=1, iterations=1
+    )
+    f_gamma = result.data["f_gamma_hz"]
+    f_wcet = result.data["f_wcet_hz"]
+    # shape reproduction: the curve bound roughly halves the frequency
+    assert f_gamma < f_wcet
+    assert result.data["savings"] > 0.45
+    assert 1.8 < f_wcet / f_gamma < 2.6
+    # absolute scale lands in the paper's regime (hundreds of MHz)
+    assert 2.0e8 < f_gamma < 6.0e8
+    assert 5.0e8 < f_wcet < 1.2e9
+    assert result.data["constraint_ok"]
+    print("\n" + str(result))

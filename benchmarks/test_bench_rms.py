@@ -1,0 +1,15 @@
+"""E3 — regenerate the §3.1 RMS comparison table."""
+
+from repro.experiments import rms_table
+
+
+def test_bench_rms_table(benchmark):
+    result = benchmark(rms_table.run)
+    rows = result.data["rows"]
+    # the paper's eq. (5): the curve test is never more pessimistic
+    assert all(r["L_curves"] <= r["L_classic"] + 1e-12 for r in rows)
+    # and strictly gains schedulability on variable-demand sets
+    assert any(r["curves_schedulable"] and not r["classic_schedulable"] for r in rows)
+    # scheduler simulation confirms every admitted set
+    assert all(r["sim_misses"] == 0 for r in rows if r["curves_schedulable"])
+    print("\n" + str(result))

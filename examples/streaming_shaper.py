@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Network-calculus building blocks: bounds, composition, shaping.
+
+A tour of the substrate under the paper's §3.2 — arrival/service curves,
+backlog and delay bounds, output characterization, and a greedy shaper
+taming a bursty flow before it hits a slow node (the standard trick to cut
+downstream buffer requirements).
+
+Run:  python examples/streaming_shaper.py
+"""
+
+from repro.curves import (
+    GreedyShaper,
+    backlog_bound,
+    convolve,
+    delay_bound,
+    full_processor,
+    leaky_bucket,
+    output_arrival_curve,
+    periodic_upper,
+    rate_latency,
+)
+from repro.curves.service import remaining_service_fp
+
+
+def main() -> None:
+    # A bursty flow through a rate-latency server: closed-form bounds.
+    alpha = leaky_bucket(burst=12.0, rate=2.0)      # events
+    beta = rate_latency(rate=5.0, latency=1.5)
+    print("flow (burst 12, rate 2) through server (rate 5, latency 1.5):")
+    print(f"  backlog bound: {backlog_bound(alpha, beta):.2f}  (= b + r*T = {12 + 2 * 1.5})")
+    print(f"  delay bound:   {delay_bound(alpha, beta):.2f}  (= T + b/R = {1.5 + 12 / 5})")
+
+    # Output characterization: the flow leaving the server.
+    alpha_out = output_arrival_curve(alpha, beta)
+    print(f"  output burst:  {alpha_out(0):.2f}  (grew by r*T while queued)")
+
+    # Tandem: two servers compose by min-plus convolution.
+    beta2 = rate_latency(rate=4.0, latency=0.5)
+    tandem = convolve(beta, beta2)
+    print(f"\ntandem service (rate-latency x2): end-to-end delay "
+          f"{delay_bound(alpha, tandem):.2f} "
+          f"< sum of per-hop delays {delay_bound(alpha, beta) + delay_bound(alpha_out, beta2):.2f} "
+          "(pay-bursts-only-once)")
+
+    # Greedy shaper: cap the burst before the slow node.
+    shaper = GreedyShaper(leaky_bucket(burst=3.0, rate=2.5))
+    shaped = shaper.output_arrival_curve(alpha)
+    print(f"\ngreedy shaper (burst 3, rate 2.5):")
+    print(f"  shaper buffer needed: {shaper.buffer_requirement(alpha):.2f}")
+    print(f"  shaper delay:         {shaper.delay_requirement(alpha):.2f}")
+    print(f"  downstream backlog before/after shaping: "
+          f"{backlog_bound(alpha, beta):.2f} -> {backlog_bound(shaped, beta):.2f}")
+
+    # Fixed-priority sharing: what service is left for a low-priority task?
+    pe = full_processor(10.0)
+    hp_demand = periodic_upper(1.0) * 3.0  # periodic task, 3 cycles per event
+    remaining = remaining_service_fp(pe, hp_demand)
+    print(f"\nfull processor (10 cyc/s) minus periodic HP task (3 cyc every 1 s):")
+    print(f"  remaining long-run rate: {remaining.final_slope:.2f} cyc/s")
+    print(f"  remaining service at delta = 2 s: {remaining(2.0):.2f} cycles")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: metadata lives in pyproject.toml; this file enables legacy
+editable installs on environments whose setuptools lacks PEP 660 support."""
+from setuptools import setup
+
+setup()

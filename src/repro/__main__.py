@@ -1,0 +1,68 @@
+"""Command-line entry point: regenerate paper experiments.
+
+Usage::
+
+    python -m repro                 # run the light experiments (E1-E3, E8)
+    python -m repro all             # run everything (case study: ~1 min)
+    python -m repro E5 E6           # run specific experiments
+    python -m repro --list          # show available experiment ids
+    python -m repro all --frames 24 # faster, lower-fidelity case study
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+#: Experiments that run in well under a second.
+LIGHT = ("E1", "E2", "E3")
+#: Experiments needing the full case-study context.
+HEAVY = ("E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "A4", "A6")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the figures/tables of Maxiaguine et al., DATE 2004.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (E1..E8, A1, A2), 'all', or empty for the light set",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=72,
+        help="frames per clip for the case-study experiments (default 72)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for exp_id in ALL_EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    requested = args.experiments or list(LIGHT)
+    if any(e.lower() == "all" for e in requested):
+        requested = list(ALL_EXPERIMENTS)
+    unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+
+    for exp_id in requested:
+        run = ALL_EXPERIMENTS[exp_id]
+        kwargs = {}
+        if exp_id in ("E4", "E5", "E6", "E7", "E8", "A1", "A3", "A4", "A6"):
+            kwargs["frames"] = args.frames
+        result = run(**kwargs)
+        print(result)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Buffer sizing: the dual of the frequency problem.
+
+Given a PE frequency ``F``, the smallest FIFO that never overflows is the
+event-domain backlog bound of eq. (7) with ``β(Δ) = F·Δ``:
+
+.. math::
+
+    b_{min} = \\sup_{Δ \\ge 0} \\{ \\barα(Δ) - γ^{u-1}(F·Δ) \\}
+
+(the same expression the paper's "How should the buffers be sized?" design
+question calls for).  With the WCET characterization
+``γ^{u-1}_w(e) = ⌊e/w⌋``, the classical — looser — size falls out of the
+same formula.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.backlog import backlog_bound_events
+from repro.core.workload import WorkloadCurve
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.service import full_processor
+from repro.util.validation import check_positive
+
+__all__ = ["BufferBound", "minimum_buffer_curves", "minimum_buffer_wcet", "buffer_frequency_tradeoff"]
+
+
+@dataclass(frozen=True)
+class BufferBound:
+    """Minimum buffer size (in items) guaranteeing no overflow."""
+
+    items: int
+    method: str
+
+
+def minimum_buffer_curves(
+    alpha_events: PiecewiseLinearCurve,
+    gamma_u: WorkloadCurve,
+    frequency: float,
+) -> BufferBound:
+    """Smallest safe FIFO with the workload-curve characterization."""
+    check_positive(frequency, "frequency")
+    bound = backlog_bound_events(alpha_events, full_processor(frequency), gamma_u)
+    return BufferBound(int(math.ceil(bound - 1e-9)), "workload-curves")
+
+
+def minimum_buffer_wcet(
+    alpha_events: PiecewiseLinearCurve,
+    wcet: float,
+    frequency: float,
+) -> BufferBound:
+    """Smallest safe FIFO with the WCET characterization (uses the linear
+    curve ``γ^u_w(k) = w·k``, whose pseudo-inverse is ``⌊e/w⌋``)."""
+    check_positive(wcet, "wcet")
+    check_positive(frequency, "frequency")
+    linear = WorkloadCurve.from_constant("upper", wcet, horizon=16)
+    bound = backlog_bound_events(alpha_events, full_processor(frequency), linear)
+    return BufferBound(int(math.ceil(bound - 1e-9)), "wcet")
+
+
+def buffer_frequency_tradeoff(
+    alpha_events: PiecewiseLinearCurve,
+    gamma_u: WorkloadCurve,
+    frequencies,
+) -> list[tuple[float, int]]:
+    """``(frequency, b_min)`` pairs across a frequency sweep — the design
+    space curve a system architect trades buffer RAM against clock speed
+    on."""
+    out: list[tuple[float, int]] = []
+    for f in frequencies:
+        out.append((float(f), minimum_buffer_curves(alpha_events, gamma_u, float(f)).items))
+    return out

@@ -1,0 +1,83 @@
+"""Event ↔ cycle domain conversion via workload curves (paper Figure 4).
+
+Arrival curves count *events*; service curves count processor *cycles*.
+Before eq. (6) can subtract them they must share a unit.  The paper's
+baseline scales the event curve by a constant ``w`` (the WCET); the
+contribution converts with the workload curve instead:
+
+* events → cycles: ``α(Δ) = γ^u(ᾱ(Δ))`` — the worst-case cycles the
+  ``ᾱ(Δ)`` events of any Δ-window may demand;
+* cycles → events: ``β̄(Δ) = γ^{u⁻1}(β(Δ))`` — the number of events
+  *guaranteed* processable with the cycles served in any Δ-window.
+
+Both conversions are conservative by the Galois property of the
+pseudo-inverse (§2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workload import WorkloadCurve
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "arrival_events_to_cycles",
+    "service_cycles_to_events",
+    "scale_arrival_by_wcet",
+]
+
+
+def _require_upper(gamma_u: WorkloadCurve) -> None:
+    if gamma_u.kind != "upper":
+        raise ValidationError("conversion needs an upper workload curve")
+
+
+def arrival_events_to_cycles(
+    alpha_events: PiecewiseLinearCurve, gamma_u: WorkloadCurve
+) -> PiecewiseLinearCurve:
+    """Cycle-based arrival curve ``γ^u(ᾱ(Δ))``.
+
+    ``ᾱ`` must be integer-valued (a staircase); the composition is a
+    staircase with the same breakpoints.  A non-integer event curve (e.g. a
+    leaky bucket) is first rounded up to the next integer staircase on its
+    breakpoints, which keeps the result an upper bound but may coarsen a
+    linear tail — prefer staircase arrival curves for exact conversion.
+    """
+    _require_upper(gamma_u)
+    xs = alpha_events.breakpoints
+    counts = np.ceil(alpha_events(xs) - 1e-9).astype(np.int64)
+    values = gamma_u(np.maximum(counts, 0)).astype(float)
+    values = np.maximum(values, 1e-12)  # curve representation needs > 0
+    slopes = np.zeros(xs.size)
+    if alpha_events.final_slope > 0:
+        # conservative tail: event rate times the per-event worst cost of
+        # the curve's long tail (additive extension slope), plus one event
+        # of slack absorbed by the ceil above
+        slopes[-1] = alpha_events.final_slope * gamma_u.long_run_rate
+    return PiecewiseLinearCurve(xs, values, slopes)
+
+
+def service_cycles_to_events(
+    beta_cycles: PiecewiseLinearCurve, gamma_u: WorkloadCurve, deltas
+) -> np.ndarray:
+    """Event-based service ``γ^{u⁻1}(β(Δ))`` evaluated at *deltas*.
+
+    Returned as guaranteed event counts (integers) rather than a curve:
+    the composition has a breakpoint wherever ``β`` crosses a ``γ^u``
+    level, which is dense for high-rate service curves; bounds evaluate it
+    pointwise instead.
+    """
+    _require_upper(gamma_u)
+    deltas = np.asarray(deltas, dtype=float)
+    return gamma_u.pseudo_inverse(beta_cycles(deltas))
+
+
+def scale_arrival_by_wcet(
+    alpha_events: PiecewiseLinearCurve, wcet: float
+) -> PiecewiseLinearCurve:
+    """The baseline conversion ``α = w·ᾱ`` used by eq. (10)."""
+    if wcet <= 0:
+        raise ValidationError("wcet must be positive")
+    return alpha_events * wcet

@@ -1,0 +1,46 @@
+"""Delay bounds for a stream through a PE, in the event domain.
+
+The worst-case time an event spends between arriving in the FIFO and
+leaving the PE is the horizontal deviation between the *cycle-demand* of
+the arrived events and the service:
+
+.. math::
+
+    D \\le \\sup_{Δ \\ge 0} \\inf \\{ d \\ge 0 : β(Δ + d) \\ge γ^u(\\barα(Δ)) \\}
+
+i.e. by ``Δ + D`` the PE must have served every cycle the first ``ᾱ(Δ)``
+events can demand.  With the WCET scaling this degrades to the classical
+``w·ᾱ`` bound; the workload-curve version is tighter by exactly the
+mechanism of eq. (7).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.conversion import arrival_events_to_cycles, scale_arrival_by_wcet
+from repro.core.workload import WorkloadCurve
+from repro.curves.bounds import delay_bound as _horizontal_deviation
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["delay_bound_curves", "delay_bound_wcet"]
+
+
+def delay_bound_curves(
+    alpha_events: PiecewiseLinearCurve,
+    gamma_u: WorkloadCurve,
+    beta: PiecewiseLinearCurve,
+) -> float:
+    """Worst-case event delay with the workload-curve conversion."""
+    if gamma_u.kind != "upper":
+        raise ValidationError("delay bound needs an upper workload curve")
+    return _horizontal_deviation(arrival_events_to_cycles(alpha_events, gamma_u), beta)
+
+
+def delay_bound_wcet(
+    alpha_events: PiecewiseLinearCurve,
+    wcet: float,
+    beta: PiecewiseLinearCurve,
+) -> float:
+    """Worst-case event delay with the WCET scaling — the baseline."""
+    check_positive(wcet, "wcet")
+    return _horizontal_deviation(scale_arrival_by_wcet(alpha_events, wcet), beta)

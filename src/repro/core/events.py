@@ -1,0 +1,183 @@
+"""Typed events and per-type execution-time intervals (paper §2.1).
+
+A task ``τ`` is triggered by a sequence of events ``[E_1, E_2, ...]``; each
+event carries a *type* ``t`` from a finite set ``T``, and each type imposes an
+execution requirement bounded by the interval ``[bcet(t), wcet(t)]`` (the SPI
+model of Ziegenbein et al., which the paper builds on).  This module provides:
+
+* :class:`ExecutionInterval` — a validated ``[bcet, wcet]`` pair,
+* :class:`ExecutionProfile` — the map from event-type name to interval,
+* :class:`Event` — one activation: a type name plus optional timestamp and
+  optional *measured* demand (used for trace-based curve extraction, §2.1
+  last paragraph).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.util.validation import ValidationError, check_non_negative, check_positive
+
+__all__ = ["ExecutionInterval", "ExecutionProfile", "Event"]
+
+
+@dataclass(frozen=True)
+class ExecutionInterval:
+    """Execution-requirement interval ``[bcet, wcet]`` in processor cycles.
+
+    The paper requires ``[bcet(t), wcet(t)] ⊂ R_{>0}``; we therefore insist on
+    ``0 < bcet <= wcet``.
+    """
+
+    bcet: float
+    wcet: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.bcet, "bcet")
+        check_positive(self.wcet, "wcet")
+        if self.bcet > self.wcet:
+            raise ValidationError(
+                f"bcet ({self.bcet}) must not exceed wcet ({self.wcet})"
+            )
+
+    @property
+    def spread(self) -> float:
+        """Absolute variability ``wcet - bcet``."""
+        return self.wcet - self.bcet
+
+    @property
+    def ratio(self) -> float:
+        """Variability ratio ``wcet / bcet`` (>= 1)."""
+        return self.wcet / self.bcet
+
+    def contains(self, demand: float) -> bool:
+        """True if *demand* lies within the interval (inclusive)."""
+        return self.bcet <= demand <= self.wcet
+
+    def scaled(self, factor: float) -> "ExecutionInterval":
+        """Interval with both bounds multiplied by *factor* (> 0)."""
+        check_positive(factor, "factor")
+        return ExecutionInterval(self.bcet * factor, self.wcet * factor)
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single task activation.
+
+    Parameters
+    ----------
+    type_name:
+        The event type ``t ∈ T`` triggering the task.
+    timestamp:
+        Optional arrival time (seconds).  Workload curves themselves are
+        timing-free (paper: "not based on any form of event timing"), but
+        traces used with arrival curves need timestamps.
+    demand:
+        Optional measured execution demand in cycles for this particular
+        activation.  When present it must be positive; trace-based curve
+        extraction can use measured demands instead of the per-type
+        worst/best-case interval.
+    """
+
+    type_name: str
+    timestamp: float | None = None
+    demand: float | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.type_name, str) or not self.type_name:
+            raise ValidationError("type_name must be a non-empty string")
+        if self.timestamp is not None:
+            check_non_negative(self.timestamp, "timestamp")
+        if self.demand is not None:
+            check_positive(self.demand, "demand")
+
+
+class ExecutionProfile:
+    """Map from event-type name to its :class:`ExecutionInterval`.
+
+    This is the static characterization the paper assumes known for each
+    type (analogous to the SPI model's per-mode intervals).
+
+    >>> profile = ExecutionProfile({"a": (2, 4), "b": (1, 3), "c": (1, 5)})
+    >>> profile.wcet("a")
+    4.0
+    """
+
+    def __init__(self, intervals: Mapping[str, ExecutionInterval | tuple[float, float]]):
+        if not intervals:
+            raise ValidationError("profile needs at least one event type")
+        self._intervals: dict[str, ExecutionInterval] = {}
+        for name, interval in intervals.items():
+            if not isinstance(name, str) or not name:
+                raise ValidationError("event type names must be non-empty strings")
+            if isinstance(interval, tuple):
+                interval = ExecutionInterval(*interval)
+            if not isinstance(interval, ExecutionInterval):
+                raise ValidationError(
+                    f"interval for type {name!r} must be ExecutionInterval or (bcet, wcet)"
+                )
+            self._intervals[name] = interval
+
+    # -- mapping-ish protocol -------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._intervals
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __getitem__(self, name: str) -> ExecutionInterval:
+        try:
+            return self._intervals[name]
+        except KeyError:
+            raise KeyError(f"unknown event type {name!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutionProfile):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """All event-type names, in insertion order."""
+        return tuple(self._intervals)
+
+    def wcet(self, name: str) -> float:
+        """Worst-case execution time of type *name*."""
+        return self[name].wcet
+
+    def bcet(self, name: str) -> float:
+        """Best-case execution time of type *name*."""
+        return self[name].bcet
+
+    @property
+    def wcet_max(self) -> float:
+        """The global WCET ``max_t wcet(t)`` — the classical single-value
+        characterization the paper improves upon."""
+        return max(iv.wcet for iv in self._intervals.values())
+
+    @property
+    def bcet_min(self) -> float:
+        """The global BCET ``min_t bcet(t)``."""
+        return min(iv.bcet for iv in self._intervals.values())
+
+    def interval(self, name: str) -> ExecutionInterval:
+        """The ``[bcet, wcet]`` interval of type *name*."""
+        return self[name]
+
+    def scaled(self, factor: float) -> "ExecutionProfile":
+        """Profile with every interval scaled by *factor* (models running the
+        same task on a processor with different cycles-per-operation cost)."""
+        return ExecutionProfile(
+            {name: iv.scaled(factor) for name, iv in self._intervals.items()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(
+            f"{name}=[{iv.bcet:g},{iv.wcet:g}]" for name, iv in self._intervals.items()
+        )
+        return f"ExecutionProfile({body})"

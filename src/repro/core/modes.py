@@ -1,0 +1,157 @@
+"""Multi-mode analytical workload curves.
+
+The paper builds on the SPI model (Ziegenbein et al.) and Wolf's behavioral
+intervals, where "processes can have different modes with different
+intervals for execution times", and derives curves for the two-mode polling
+task analytically (§2.2).  This module generalizes that construction to an
+arbitrary finite set of modes: given, for every mode ``m``, a per-activation
+cost and guaranteed bounds on how many of any ``k`` consecutive activations
+may (upper) / must (lower) run in that mode, the extremal assignment yields
+valid workload curves:
+
+* upper: assign activations to the *most expensive* modes first, each up to
+  its ``n_max`` bound, until ``k`` activations are placed;
+* lower: give every mode its ``n_min`` mandatory activations, then fill the
+  remainder with the *cheapest* admissible mode.
+
+With two modes this reduces exactly to
+:func:`repro.core.analytical.two_mode_curves`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError, check_integer, check_positive
+
+__all__ = ["ModeSpec", "multi_mode_curves"]
+
+CountBound = Callable[[int], int]
+
+
+@dataclass(frozen=True)
+class ModeSpec:
+    """One execution mode of a task.
+
+    Parameters
+    ----------
+    name:
+        Mode label.
+    cost:
+        Cycles demanded by one activation in this mode.
+    n_max:
+        ``n_max(k)`` — upper bound on activations of this mode in any ``k``
+        consecutive activations.  ``None`` means unconstrained (up to ``k``).
+    n_min:
+        ``n_min(k)`` — guaranteed minimum.  ``None`` means 0.
+    """
+
+    name: str
+    cost: float
+    n_max: CountBound | None = None
+    n_min: CountBound | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("mode name must be a non-empty string")
+        check_positive(self.cost, "cost")
+
+    def max_count(self, k: int) -> int:
+        """Evaluated, clipped upper count bound."""
+        if self.n_max is None:
+            return k
+        value = check_integer(self.n_max(k), f"n_max({k}) of mode {self.name!r}")
+        if value < 0:
+            raise ValidationError(f"n_max of mode {self.name!r} must be >= 0")
+        return min(value, k)
+
+    def min_count(self, k: int) -> int:
+        """Evaluated, clipped lower count bound."""
+        if self.n_min is None:
+            return 0
+        value = check_integer(self.n_min(k), f"n_min({k}) of mode {self.name!r}")
+        if value < 0:
+            raise ValidationError(f"n_min of mode {self.name!r} must be >= 0")
+        return min(value, k)
+
+
+def _upper_demand(modes: Sequence[ModeSpec], k: int) -> float:
+    """Most expensive admissible assignment of k activations."""
+    remaining = k
+    demand = 0.0
+    for mode in sorted(modes, key=lambda m: -m.cost):
+        take = min(remaining, mode.max_count(k))
+        demand += take * mode.cost
+        remaining -= take
+        if remaining == 0:
+            return demand
+    raise ValidationError(
+        f"count bounds admit only {k - remaining} of {k} activations; "
+        "the mode set must cover every activation (leave one mode "
+        "unconstrained or make the n_max bounds sum to >= k)"
+    )
+
+
+def _lower_demand(modes: Sequence[ModeSpec], k: int) -> float:
+    """Cheapest admissible assignment of k activations."""
+    mandatory = [(m, m.min_count(k)) for m in modes]
+    total_min = sum(c for _m, c in mandatory)
+    if total_min > k:
+        raise ValidationError(
+            f"n_min bounds require {total_min} activations in a window of {k}"
+        )
+    demand = sum(m.cost * c for m, c in mandatory)
+    remaining = k - total_min
+    # fill the remainder with the cheapest modes that still have headroom
+    for mode, taken in sorted(mandatory, key=lambda mc: mc[0].cost):
+        if remaining == 0:
+            break
+        headroom = mode.max_count(k) - taken
+        take = min(remaining, max(headroom, 0))
+        demand += take * mode.cost
+        remaining -= take
+    if remaining > 0:
+        raise ValidationError(
+            "count bounds admit fewer activations than the window length"
+        )
+    return demand
+
+
+def multi_mode_curves(modes: Sequence[ModeSpec], *, k_max: int = 64) -> WorkloadCurvePair:
+    """Workload curves of a multi-mode task (see module docstring).
+
+    Requirements checked per ``k``: the ``n_max`` bounds must admit ``k``
+    activations in total, the ``n_min`` bounds must not demand more than
+    ``k``, and both bound families must be monotone in ``k`` (otherwise the
+    construction is not a valid envelope).
+    """
+    modes = list(modes)
+    if not modes:
+        raise ValidationError("at least one mode is required")
+    names = [m.name for m in modes]
+    if len(set(names)) != len(names):
+        raise ValidationError("mode names must be unique")
+    k_max = check_integer(k_max, "k_max", minimum=1)
+    ks = np.arange(1, k_max + 1, dtype=np.int64)
+    upper = np.array([_upper_demand(modes, int(k)) for k in ks])
+    lower = np.array([_lower_demand(modes, int(k)) for k in ks])
+    for mode in modes:
+        maxes = [mode.max_count(int(k)) for k in ks]
+        mins = [mode.min_count(int(k)) for k in ks]
+        if any(b < a for a, b in zip(maxes, maxes[1:])):
+            raise ValidationError(f"n_max of mode {mode.name!r} must be monotone in k")
+        if any(b < a for a, b in zip(mins, mins[1:])):
+            raise ValidationError(f"n_min of mode {mode.name!r} must be monotone in k")
+    # the greedy per-k assignments are valid bounds but not necessarily
+    # sub-/super-additive (a window's count bounds are not the sum of its
+    # halves'); the closures tighten them to the consistent envelope — the
+    # true windowed demand is always sub-additive, so this stays sound
+    from repro.core.operations import subadditive_closure, superadditive_closure
+
+    upper_curve = subadditive_closure(WorkloadCurve("upper", ks, upper))
+    lower_curve = superadditive_closure(WorkloadCurve("lower", ks, lower))
+    return WorkloadCurvePair(upper_curve, lower_curve)

@@ -1,0 +1,109 @@
+"""JSON (de)serialization of workload curves and execution profiles.
+
+Curves are expensive to extract from long traces; persisting them lets a
+design flow split extraction (simulation-time) from analysis (design-time),
+which is how the paper's methodology would be deployed.  The format is a
+small, versioned JSON document; round-trips are exact (floats preserved via
+``repr``-faithful JSON numbers).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.events import ExecutionInterval, ExecutionProfile
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "curve_to_dict",
+    "curve_from_dict",
+    "pair_to_dict",
+    "pair_from_dict",
+    "profile_to_dict",
+    "profile_from_dict",
+    "save_pair",
+    "load_pair",
+]
+
+_FORMAT_VERSION = 1
+
+
+def curve_to_dict(curve: WorkloadCurve) -> dict[str, Any]:
+    """Serializable representation of one curve."""
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "workload-curve",
+        "kind": curve.kind,
+        "k_values": curve.k_values.tolist(),
+        "values": curve.values.tolist(),
+    }
+
+
+def curve_from_dict(data: dict[str, Any]) -> WorkloadCurve:
+    """Inverse of :func:`curve_to_dict` (validates structure and version)."""
+    _check(data, "workload-curve")
+    return WorkloadCurve(data["kind"], data["k_values"], data["values"])
+
+
+def pair_to_dict(pair: WorkloadCurvePair) -> dict[str, Any]:
+    """Serializable representation of an upper/lower pair."""
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "workload-curve-pair",
+        "upper": curve_to_dict(pair.upper),
+        "lower": curve_to_dict(pair.lower),
+    }
+
+
+def pair_from_dict(data: dict[str, Any]) -> WorkloadCurvePair:
+    """Inverse of :func:`pair_to_dict`."""
+    _check(data, "workload-curve-pair")
+    return WorkloadCurvePair(
+        curve_from_dict(data["upper"]), curve_from_dict(data["lower"])
+    )
+
+
+def profile_to_dict(profile: ExecutionProfile) -> dict[str, Any]:
+    """Serializable representation of an execution profile."""
+    return {
+        "format": _FORMAT_VERSION,
+        "type": "execution-profile",
+        "intervals": {
+            name: [profile.bcet(name), profile.wcet(name)] for name in profile
+        },
+    }
+
+
+def profile_from_dict(data: dict[str, Any]) -> ExecutionProfile:
+    """Inverse of :func:`profile_to_dict`."""
+    _check(data, "execution-profile")
+    return ExecutionProfile(
+        {name: ExecutionInterval(lo, hi) for name, (lo, hi) in data["intervals"].items()}
+    )
+
+
+def save_pair(pair: WorkloadCurvePair, path: str | Path) -> None:
+    """Write a curve pair to *path* as JSON."""
+    Path(path).write_text(json.dumps(pair_to_dict(pair)))
+
+
+def load_pair(path: str | Path) -> WorkloadCurvePair:
+    """Read a curve pair written by :func:`save_pair`."""
+    return pair_from_dict(json.loads(Path(path).read_text()))
+
+
+def _check(data: dict[str, Any], expected_type: str) -> None:
+    if not isinstance(data, dict):
+        raise ValidationError("serialized document must be a JSON object")
+    if data.get("type") != expected_type:
+        raise ValidationError(
+            f"expected a {expected_type!r} document, got {data.get('type')!r}"
+        )
+    if data.get("format") != _FORMAT_VERSION:
+        raise ValidationError(
+            f"unsupported format version {data.get('format')!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )

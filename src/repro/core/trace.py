@@ -1,0 +1,262 @@
+"""Event traces and the partial-demand sums ``γ_b(j, k)``, ``γ_w(j, k)``.
+
+The paper (§2.1, Figure 1) defines, for an event sequence ``[E_1, E_2, ...]``:
+
+.. math::
+
+    γ_w(j, k) = \\sum_{i=j}^{j+k-1} wcet(type(E_i)), \\qquad
+    γ_b(j, k) = \\sum_{i=j}^{j+k-1} bcet(type(E_i))
+
+i.e. the worst/best-case demand of the ``k`` events starting at the ``j``-th
+(1-indexed, as in the paper).  Workload curves are the envelopes of these
+sums over all window positions ``j`` (see :mod:`repro.core.workload`).
+
+:class:`EventTrace` stores a finite trace with optional timestamps and
+optional *measured* per-event demands, and provides both the definitional
+per-window sums and vectorized demand arrays for envelope extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.events import Event, ExecutionProfile
+from repro.util.validation import ValidationError, check_integer
+
+__all__ = ["EventTrace"]
+
+
+class EventTrace:
+    """A finite sequence of typed events triggering one task.
+
+    Parameters
+    ----------
+    events:
+        Iterable of :class:`~repro.core.events.Event`.  Either all events
+        carry a timestamp or none do; timestamps must be non-decreasing.
+    profile:
+        Optional :class:`~repro.core.events.ExecutionProfile`.  Required for
+        the definitional (per-type interval based) demand sums; every event
+        type appearing in the trace must be covered and any measured demand
+        must lie within its type's interval.
+    """
+
+    def __init__(self, events: Iterable[Event], profile: ExecutionProfile | None = None):
+        events = list(events)
+        if not events:
+            raise ValidationError("trace must contain at least one event")
+        for i, ev in enumerate(events):
+            if not isinstance(ev, Event):
+                raise ValidationError(f"events[{i}] is not an Event")
+        has_ts = [ev.timestamp is not None for ev in events]
+        if any(has_ts) and not all(has_ts):
+            raise ValidationError("either all events carry timestamps or none do")
+        if all(has_ts):
+            ts = np.array([ev.timestamp for ev in events], dtype=float)
+            if np.any(np.diff(ts) < 0):
+                raise ValidationError("timestamps must be non-decreasing")
+            self._timestamps: np.ndarray | None = ts
+        else:
+            self._timestamps = None
+        self._events = tuple(events)
+        self._types = tuple(ev.type_name for ev in events)
+        self._profile = profile
+        if profile is not None:
+            missing = sorted(set(self._types) - set(profile.type_names))
+            if missing:
+                raise ValidationError(
+                    f"profile does not cover event types: {', '.join(missing)}"
+                )
+            for i, ev in enumerate(events):
+                if ev.demand is not None and not profile[ev.type_name].contains(ev.demand):
+                    raise ValidationError(
+                        f"events[{i}] demand {ev.demand} outside "
+                        f"[{profile[ev.type_name].bcet}, {profile[ev.type_name].wcet}] "
+                        f"for type {ev.type_name!r}"
+                    )
+        has_demand = [ev.demand is not None for ev in events]
+        self._all_measured = all(has_demand)
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_type_names(
+        cls,
+        type_names: Sequence[str],
+        profile: ExecutionProfile,
+        *,
+        timestamps: Sequence[float] | None = None,
+    ) -> "EventTrace":
+        """Build a trace from a plain sequence of type names.
+
+        >>> profile = ExecutionProfile({"a": (2, 4), "b": (1, 3)})
+        >>> trace = EventTrace.from_type_names("abab", profile)
+        """
+        names = list(type_names)
+        if timestamps is not None and len(timestamps) != len(names):
+            raise ValidationError("timestamps length must match type_names length")
+        events = [
+            Event(name, timestamp=None if timestamps is None else float(timestamps[i]))
+            for i, name in enumerate(names)
+        ]
+        return cls(events, profile)
+
+    @classmethod
+    def from_demands(
+        cls,
+        demands: Sequence[float],
+        *,
+        timestamps: Sequence[float] | None = None,
+        type_name: str = "job",
+    ) -> "EventTrace":
+        """Build a measured trace where each event's demand was observed.
+
+        This is the §2.1 "analysis of event traces" mode used by the MPEG-2
+        case study: the curves extracted from such a trace are guaranteed for
+        this trace (class of traces) only.
+        """
+        demands = list(demands)
+        if not demands:
+            raise ValidationError("demands must be non-empty")
+        if timestamps is not None and len(timestamps) != len(demands):
+            raise ValidationError("timestamps length must match demands length")
+        events = [
+            Event(
+                type_name,
+                timestamp=None if timestamps is None else float(timestamps[i]),
+                demand=float(d),
+            )
+            for i, d in enumerate(demands)
+        ]
+        return cls(events, None)
+
+    # -- basic accessors -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> tuple[Event, ...]:
+        """The events, in order."""
+        return self._events
+
+    @property
+    def type_names(self) -> tuple[str, ...]:
+        """Per-event type names, in order."""
+        return self._types
+
+    @property
+    def profile(self) -> ExecutionProfile | None:
+        """The execution profile, if one was attached."""
+        return self._profile
+
+    @property
+    def timestamps(self) -> np.ndarray | None:
+        """Array of arrival times, or ``None`` for an untimed trace."""
+        return None if self._timestamps is None else self._timestamps.copy()
+
+    @property
+    def has_measured_demands(self) -> bool:
+        """True if every event carries an observed demand."""
+        return self._all_measured
+
+    def type_counts(self) -> dict[str, int]:
+        """Number of occurrences of each event type in the trace."""
+        counts: dict[str, int] = {}
+        for name in self._types:
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    # -- demand vectors -------------------------------------------------------------
+    def _require_profile(self) -> ExecutionProfile:
+        if self._profile is None:
+            raise ValidationError(
+                "this operation needs an execution profile; attach one at "
+                "construction or use measured demands"
+            )
+        return self._profile
+
+    def worst_case_demands(self) -> np.ndarray:
+        """Per-event worst-case demand ``wcet(type(E_i))`` (needs a profile)."""
+        profile = self._require_profile()
+        return np.array([profile.wcet(name) for name in self._types], dtype=float)
+
+    def best_case_demands(self) -> np.ndarray:
+        """Per-event best-case demand ``bcet(type(E_i))`` (needs a profile)."""
+        profile = self._require_profile()
+        return np.array([profile.bcet(name) for name in self._types], dtype=float)
+
+    def measured_demands(self) -> np.ndarray:
+        """Per-event observed demands (every event must carry one)."""
+        if not self._all_measured:
+            raise ValidationError("trace does not carry measured demands for every event")
+        return np.array([ev.demand for ev in self._events], dtype=float)
+
+    # -- the paper's γ_w / γ_b -------------------------------------------------------
+    def gamma_w(self, j: int, k: int) -> float:
+        """Worst-case demand of events ``E_j .. E_{j+k-1}`` (1-indexed).
+
+        ``γ_w(j, 0) = 0`` for every ``j``, matching the paper's convention.
+        """
+        return self._window_sum(self.worst_case_demands(), j, k)
+
+    def gamma_b(self, j: int, k: int) -> float:
+        """Best-case demand of events ``E_j .. E_{j+k-1}`` (1-indexed)."""
+        return self._window_sum(self.best_case_demands(), j, k)
+
+    def gamma_measured(self, j: int, k: int) -> float:
+        """Observed demand of events ``E_j .. E_{j+k-1}`` (1-indexed)."""
+        return self._window_sum(self.measured_demands(), j, k)
+
+    def _window_sum(self, demands: np.ndarray, j: int, k: int) -> float:
+        j = check_integer(j, "j", minimum=1)
+        k = check_integer(k, "k", minimum=0)
+        if k == 0:
+            return 0.0
+        if j + k - 1 > len(self._events):
+            raise ValidationError(
+                f"window [j={j}, j+k-1={j + k - 1}] exceeds trace length {len(self._events)}"
+            )
+        return float(np.sum(demands[j - 1 : j - 1 + k]))
+
+    # -- slicing / composition ---------------------------------------------------------
+    def subtrace(self, start: int, stop: int) -> "EventTrace":
+        """Events ``start..stop-1`` (0-indexed, half-open) as a new trace."""
+        start = check_integer(start, "start", minimum=0)
+        stop = check_integer(stop, "stop", minimum=start + 1)
+        if stop > len(self._events):
+            raise ValidationError(f"stop={stop} exceeds trace length {len(self._events)}")
+        return EventTrace(self._events[start:stop], self._profile)
+
+    def concatenate(self, other: "EventTrace") -> "EventTrace":
+        """This trace followed by *other* (profiles must agree if both set).
+
+        Timestamps are preserved only when the concatenation stays
+        non-decreasing; mixing timed and untimed traces drops timestamps.
+        """
+        if self._profile is not None and other._profile is not None:
+            if self._profile != other._profile:
+                raise ValidationError("cannot concatenate traces with different profiles")
+        profile = self._profile or other._profile
+        if (
+            self._timestamps is not None
+            and other._timestamps is not None
+            and other._timestamps[0] >= self._timestamps[-1]
+        ):
+            events = self._events + other._events
+        else:
+            events = tuple(
+                Event(ev.type_name, timestamp=None, demand=ev.demand)
+                for ev in self._events + other._events
+            )
+        return EventTrace(events, profile)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        timed = "timed" if self._timestamps is not None else "untimed"
+        return f"EventTrace(n={len(self._events)}, {timed}, types={sorted(set(self._types))})"

@@ -1,0 +1,175 @@
+"""Structural invariant checks for workload curves.
+
+The paper states three properties of workload curves (strict monotonicity,
+pseudo-inverse Galois relations, ``γ^u(1) = WCET`` / ``γ^l(1) = BCET``); the
+additive horizon extension of :class:`~repro.core.workload.WorkloadCurve`
+additionally relies on sub-/super-additivity.  These diagnostics verify the
+properties on concrete curves and are used by the test-suite and by
+:func:`audit_pair` in integration checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.trace import EventTrace
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError, check_integer
+
+__all__ = [
+    "CurveAudit",
+    "check_subadditive",
+    "check_superadditive",
+    "check_pair_consistent",
+    "check_bounds_trace",
+    "audit_pair",
+]
+
+
+@dataclass
+class CurveAudit:
+    """Result of an invariant audit: a list of human-readable violations.
+
+    An empty :attr:`violations` list means the audited object satisfies all
+    checked invariants.
+    """
+
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no violations were found."""
+        return not self.violations
+
+    def record(self, message: str) -> None:
+        """Append a violation message."""
+        self.violations.append(message)
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`ValidationError` summarizing all violations."""
+        if self.violations:
+            raise ValidationError("; ".join(self.violations))
+
+
+def check_subadditive(
+    curve: WorkloadCurve, *, k_max: int | None = None, tolerance: float = 1e-9
+) -> CurveAudit:
+    """Audit ``γ(a+b) <= γ(a) + γ(b)`` for all ``a + b <= k_max``.
+
+    Sub-additivity is what makes the additive horizon extension a sound
+    upper bound; trace-derived curves satisfy it by construction.
+    """
+    if curve.kind != "upper":
+        raise ValidationError("subadditivity is an upper-curve property")
+    return _additivity_audit(curve, k_max, tolerance, upper=True)
+
+
+def check_superadditive(
+    curve: WorkloadCurve, *, k_max: int | None = None, tolerance: float = 1e-9
+) -> CurveAudit:
+    """Audit ``γ(a+b) >= γ(a) + γ(b)`` for all ``a + b <= k_max``."""
+    if curve.kind != "lower":
+        raise ValidationError("superadditivity is a lower-curve property")
+    return _additivity_audit(curve, k_max, tolerance, upper=False)
+
+
+def _additivity_audit(
+    curve: WorkloadCurve, k_max: int | None, tolerance: float, *, upper: bool
+) -> CurveAudit:
+    k_max = curve.horizon if k_max is None else check_integer(k_max, "k_max", minimum=1)
+    vals = np.concatenate(([0.0], curve.to_dense(k_max).values))
+    audit = CurveAudit()
+    for k in range(2, k_max + 1):
+        splits = vals[1:k] + vals[k - 1 : 0 : -1]
+        if upper:
+            worst = splits.min()
+            if vals[k] > worst + tolerance:
+                audit.record(
+                    f"gamma({k})={vals[k]:g} exceeds best split {worst:g} "
+                    "(not sub-additive)"
+                )
+        else:
+            worst = splits.max()
+            if vals[k] < worst - tolerance:
+                audit.record(
+                    f"gamma({k})={vals[k]:g} below best split {worst:g} "
+                    "(not super-additive)"
+                )
+    return audit
+
+
+def check_pair_consistent(
+    pair: WorkloadCurvePair, *, k_max: int | None = None, tolerance: float = 1e-9
+) -> CurveAudit:
+    """Audit ``γ^l <= γ^u`` and strict monotonicity of both curves."""
+    audit = CurveAudit()
+    k_max = (
+        min(pair.upper.horizon, pair.lower.horizon)
+        if k_max is None
+        else check_integer(k_max, "k_max", minimum=1)
+    )
+    ks = np.arange(1, k_max + 1, dtype=np.int64)
+    up = pair.upper(ks)
+    lo = pair.lower(ks)
+    bad = np.nonzero(lo > up + tolerance)[0]
+    for i in bad[:5]:
+        audit.record(f"lower({ks[i]})={lo[i]:g} exceeds upper({ks[i]})={up[i]:g}")
+    # strict monotonicity holds at the curves' own (exact) grid samples;
+    # between grid points the conservative rounding rule may plateau
+    for curve, label in ((pair.upper, "upper"), (pair.lower, "lower")):
+        stored = np.concatenate(([0.0], curve.values))
+        if np.any(np.diff(stored) <= 0):
+            audit.record(f"{label} curve is not strictly increasing on its grid")
+    return audit
+
+
+def check_bounds_trace(
+    pair: WorkloadCurvePair,
+    trace: EventTrace,
+    *,
+    demands: str = "auto",
+    tolerance: float = 1e-9,
+) -> CurveAudit:
+    """Audit that *pair* really bounds every window of *trace*.
+
+    For every window length ``k`` up to the trace length (or the pair's
+    horizon, whichever is smaller) and every offset, the windowed demand must
+    lie within ``[γ^l(k), γ^u(k)]``.  This is the ground-truth check used to
+    validate both trace extraction and analytical constructions against
+    simulated traces.
+    """
+    if demands == "auto":
+        demands = "measured" if trace.has_measured_demands else "interval"
+    if demands == "measured":
+        per_event_hi = per_event_lo = trace.measured_demands()
+    elif demands == "interval":
+        per_event_hi = trace.worst_case_demands()
+        per_event_lo = trace.best_case_demands()
+    else:
+        raise ValidationError(f"unknown demands mode {demands!r}")
+    n = len(trace)
+    k_max = min(n, pair.upper.horizon, pair.lower.horizon)
+    csum_hi = np.concatenate(([0.0], np.cumsum(per_event_hi)))
+    csum_lo = np.concatenate(([0.0], np.cumsum(per_event_lo)))
+    audit = CurveAudit()
+    for k in range(1, k_max + 1):
+        win_hi = np.max(csum_hi[k:] - csum_hi[:-k])
+        win_lo = np.min(csum_lo[k:] - csum_lo[:-k])
+        if win_hi > float(pair.upper(k)) + tolerance:
+            audit.record(f"window demand {win_hi:g} at k={k} exceeds upper bound")
+        if win_lo < float(pair.lower(k)) - tolerance:
+            audit.record(f"window demand {win_lo:g} at k={k} below lower bound")
+        if len(audit.violations) >= 10:
+            audit.record("... (further violations suppressed)")
+            break
+    return audit
+
+
+def audit_pair(pair: WorkloadCurvePair, *, k_max: int | None = None) -> CurveAudit:
+    """Full structural audit: pair consistency plus sub-/super-additivity."""
+    audit = check_pair_consistent(pair, k_max=k_max)
+    audit.violations.extend(check_subadditive(pair.upper, k_max=k_max).violations)
+    audit.violations.extend(check_superadditive(pair.lower, k_max=k_max).violations)
+    return audit

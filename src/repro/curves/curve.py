@@ -1,0 +1,341 @@
+"""Piecewise-linear curves over time intervals ``Δ >= 0``.
+
+Network Calculus (Le Boudec & Thiran; paper §3.2) works with wide-sense
+increasing functions of the interval length Δ: *arrival curves* ``α(Δ)``
+bound the traffic seen in any window of length Δ, *service curves* ``β(Δ)``
+bound the service guaranteed in any window.  This module provides the exact
+piecewise-linear (PWL) representation both kinds share.
+
+Representation
+--------------
+A :class:`PiecewiseLinearCurve` is given by parallel arrays ``x``, ``y``,
+``slope``: on segment ``[x[i], x[i+1])`` the curve equals
+``y[i] + slope[i]·(Δ − x[i])``; the last slope extends to infinity.  The
+curve is right-continuous and may jump upward at breakpoints (this is how
+staircase arrival curves are represented: zero slopes plus jumps).  All
+curves must be non-negative and wide-sense increasing.
+
+Exactness
+---------
+All operations (``+``, scalar ``*``, pointwise ``max``/``min``, min-plus
+convolution/deconvolution in :mod:`repro.curves.minplus`, and the
+backlog/delay bounds in :mod:`repro.curves.bounds`) are *exact* for PWL
+curves: results are computed at candidate breakpoints that provably contain
+every breakpoint of the true result.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_non_negative, check_positive
+
+__all__ = ["PiecewiseLinearCurve", "zero_curve", "linear_curve", "step_curve", "EPS_REL"]
+
+#: Relative epsilon used when probing left limits at breakpoints.
+EPS_REL = 1e-9
+
+
+class PiecewiseLinearCurve:
+    """An exact, right-continuous, wide-sense increasing PWL curve on Δ ≥ 0.
+
+    Parameters
+    ----------
+    x:
+        Strictly increasing breakpoints; ``x[0]`` must be ``0``.
+    y:
+        Curve value at each breakpoint (right limit); non-negative.
+    slope:
+        Slope of the segment starting at each breakpoint; non-negative.
+        ``slope[-1]`` is the asymptotic slope.
+    """
+
+    def __init__(self, x: Sequence[float], y: Sequence[float], slope: Sequence[float]):
+        xa = np.asarray(x, dtype=float)
+        ya = np.asarray(y, dtype=float)
+        sa = np.asarray(slope, dtype=float)
+        if not (xa.ndim == ya.ndim == sa.ndim == 1) or not (xa.size == ya.size == sa.size):
+            raise ValidationError("x, y, slope must be equal-length 1-D sequences")
+        if xa.size == 0:
+            raise ValidationError("curve needs at least one segment")
+        if xa[0] != 0.0:
+            raise ValidationError("first breakpoint must be at 0")
+        if np.any(np.diff(xa) <= 0):
+            raise ValidationError("breakpoints must be strictly increasing")
+        if not (np.all(np.isfinite(xa)) and np.all(np.isfinite(ya)) and np.all(np.isfinite(sa))):
+            raise ValidationError("curve data must be finite")
+        if np.any(ya < 0):
+            raise ValidationError("curve must be non-negative")
+        if np.any(sa < 0):
+            raise ValidationError("slopes must be non-negative (wide-sense increasing)")
+        # each breakpoint value must be >= the left limit of the previous segment
+        if xa.size > 1:
+            left_limits = ya[:-1] + sa[:-1] * np.diff(xa)
+            if np.any(ya[1:] < left_limits - 1e-12 * np.maximum(1.0, np.abs(left_limits))):
+                raise ValidationError("curve must be wide-sense increasing (downward jump)")
+        self._x = xa
+        self._y = ya
+        self._s = sa
+
+    # -- accessors ------------------------------------------------------------------
+    @property
+    def breakpoints(self) -> np.ndarray:
+        """Copy of the breakpoint abscissae."""
+        return self._x.copy()
+
+    @property
+    def values_at_breakpoints(self) -> np.ndarray:
+        """Copy of the right-limit values at breakpoints."""
+        return self._y.copy()
+
+    @property
+    def slopes(self) -> np.ndarray:
+        """Copy of the per-segment slopes."""
+        return self._s.copy()
+
+    @property
+    def final_slope(self) -> float:
+        """Asymptotic growth rate (slope of the last, unbounded segment)."""
+        return float(self._s[-1])
+
+    @property
+    def n_segments(self) -> int:
+        """Number of linear segments."""
+        return int(self._x.size)
+
+    # -- evaluation -----------------------------------------------------------------
+    def __call__(self, delta):
+        """Evaluate at Δ (scalar or array-like); Δ must be >= 0."""
+        arr = np.asarray(delta, dtype=float)
+        if np.any(arr < 0):
+            raise ValidationError("delta must be >= 0")
+        scalar = arr.ndim == 0
+        dd = np.atleast_1d(arr)
+        idx = np.searchsorted(self._x, dd, side="right") - 1
+        out = self._y[idx] + self._s[idx] * (dd - self._x[idx])
+        return float(out[0]) if scalar else out
+
+    def left_limit(self, delta: float) -> float:
+        """The left limit ``f(Δ⁻)`` (equals ``f(Δ)`` except at upward jumps).
+
+        ``left_limit(0)`` is defined as ``f(0)``.
+        """
+        delta = check_non_negative(delta, "delta")
+        if delta == 0.0:
+            return float(self._y[0])
+        i = int(np.searchsorted(self._x, delta, side="left")) - 1
+        # delta is strictly inside segment i, or exactly at breakpoint i+1
+        return float(self._y[i] + self._s[i] * (delta - self._x[i]))
+
+    def jump_at(self, delta: float) -> float:
+        """Size of the upward jump at Δ (0 if continuous there)."""
+        return float(self(delta)) - self.left_limit(delta)
+
+    def inverse(self, value: float) -> float:
+        """Lower pseudo-inverse ``f⁻¹(v) = inf{Δ >= 0 : f(Δ) >= v}``.
+
+        Raises if *v* is never reached (final slope 0 and v above the
+        plateau).
+        """
+        value = check_non_negative(value, "value")
+        if value <= self._y[0]:
+            return 0.0
+        # find the first segment whose sup >= value
+        for i in range(self._x.size):
+            seg_end_val = (
+                self._y[i] + self._s[i] * (self._x[i + 1] - self._x[i])
+                if i + 1 < self._x.size
+                else np.inf if self._s[i] > 0 else self._y[i]
+            )
+            if value <= self._y[i]:
+                return float(self._x[i])
+            if value <= seg_end_val:
+                if self._s[i] > 0:
+                    return float(self._x[i] + (value - self._y[i]) / self._s[i])
+                return float(self._x[i + 1])  # reached by the jump at next bp
+        raise ValidationError(f"curve never reaches value {value!r}")
+
+    # -- arithmetic -----------------------------------------------------------------
+    def __add__(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
+        if not isinstance(other, PiecewiseLinearCurve):
+            return NotImplemented
+        xs = np.union1d(self._x, other._x)
+        ys = self(xs) + other(xs)
+        ss = self._slope_at(xs) + other._slope_at(xs)
+        return PiecewiseLinearCurve(xs, ys, ss).simplified()
+
+    def __mul__(self, factor: float) -> "PiecewiseLinearCurve":
+        factor = check_positive(factor, "factor")
+        return PiecewiseLinearCurve(self._x, self._y * factor, self._s * factor)
+
+    __rmul__ = __mul__
+
+    def shift_up(self, amount: float) -> "PiecewiseLinearCurve":
+        """Curve raised by a constant ``amount >= 0``."""
+        amount = check_non_negative(amount, "amount")
+        return PiecewiseLinearCurve(self._x, self._y + amount, self._s)
+
+    def shift_right(self, amount: float) -> "PiecewiseLinearCurve":
+        """Curve delayed by ``amount >= 0``: ``g(Δ) = f(max(0, Δ − amount))``
+        clamped at ``f(0)`` before the shift (used to add latency to a
+        service curve)."""
+        amount = check_non_negative(amount, "amount")
+        if amount == 0.0:
+            return self
+        xs = np.concatenate(([0.0], self._x + amount))
+        ys = np.concatenate(([self._y[0]], self._y))
+        ss = np.concatenate(([0.0], self._s))
+        return PiecewiseLinearCurve(xs, ys, ss).simplified()
+
+    def maximum(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
+        """Exact pointwise maximum."""
+        return self._extremum(other, np.maximum, pick_max=True)
+
+    def minimum(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
+        """Exact pointwise minimum."""
+        return self._extremum(other, np.minimum, pick_max=False)
+
+    def _slope_at(self, deltas: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._x, deltas, side="right") - 1
+        return self._s[idx]
+
+    def _extremum(self, other, op, *, pick_max: bool) -> "PiecewiseLinearCurve":
+        if not isinstance(other, PiecewiseLinearCurve):
+            raise ValidationError("operand must be a PiecewiseLinearCurve")
+        xs = set(np.union1d(self._x, other._x).tolist())
+        # add interior crossing points of each pair of overlapping segments
+        grid = np.array(sorted(xs))
+        for a, b in zip(grid[:-1], grid[1:]):
+            cross = _segment_crossing(self, other, a, b)
+            if cross is not None:
+                xs.add(cross)
+        # crossing beyond the last breakpoint
+        last = grid[-1]
+        fa, ga = self(last), other(last)
+        sf, sg = self.final_slope, other.final_slope
+        if (fa - ga) * (sf - sg) < 0:
+            cross = last + (ga - fa) / (sf - sg)
+            if cross > last:
+                xs.add(float(cross))
+        xall = np.array(sorted(xs))
+        yall = op(self(xall), other(xall))
+        # slope at each breakpoint: slope of the winning curve just after it
+        f_vals, g_vals = self(xall), other(xall)
+        f_slopes, g_slopes = self._slope_at(xall), other._slope_at(xall)
+        if pick_max:
+            winner_f = f_vals > g_vals
+            tie = np.isclose(f_vals, g_vals)
+            slopes = np.where(winner_f, f_slopes, g_slopes)
+            slopes = np.where(tie, np.maximum(f_slopes, g_slopes), slopes)
+        else:
+            winner_f = f_vals < g_vals
+            tie = np.isclose(f_vals, g_vals)
+            slopes = np.where(winner_f, f_slopes, g_slopes)
+            slopes = np.where(tie, np.minimum(f_slopes, g_slopes), slopes)
+        return PiecewiseLinearCurve(xall, yall, slopes).simplified()
+
+    def simplified(self) -> "PiecewiseLinearCurve":
+        """Merge collinear adjacent segments (no value change anywhere)."""
+        keep = [0]
+        for i in range(1, self._x.size):
+            px, py, ps = self._x[keep[-1]], self._y[keep[-1]], self._s[keep[-1]]
+            expected = py + ps * (self._x[i] - px)
+            if np.isclose(expected, self._y[i], rtol=1e-12, atol=1e-12) and np.isclose(
+                ps, self._s[i], rtol=1e-12, atol=1e-12
+            ):
+                continue
+            keep.append(i)
+        idx = np.array(keep)
+        return PiecewiseLinearCurve(self._x[idx], self._y[idx], self._s[idx])
+
+    # -- comparison --------------------------------------------------------------------
+    def dominates(self, other: "PiecewiseLinearCurve") -> bool:
+        """True if this curve is >= *other* for every Δ (exact PWL check)."""
+        xs = np.union1d(self._x, other._x)
+        probe = np.concatenate((xs, xs[1:] - EPS_REL * np.maximum(1.0, xs[1:])))
+        probe = probe[probe >= 0]
+        if np.any(self(probe) < other(probe) - 1e-9):
+            return False
+        return self.final_slope >= other.final_slope - 1e-12
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PiecewiseLinearCurve):
+            return NotImplemented
+        a, b = self.simplified(), other.simplified()
+        if a._x.size != b._x.size:
+            return False
+        return (
+            np.allclose(a._x, b._x)
+            and np.allclose(a._y, b._y)
+            and np.allclose(a._s, b._s)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PiecewiseLinearCurve(n_segments={self.n_segments}, "
+            f"f(0)={self._y[0]:g}, final_slope={self.final_slope:g})"
+        )
+
+
+def _segment_crossing(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, a: float, b: float
+) -> float | None:
+    """Interior point in (a, b) where the (linear there) curves cross."""
+    fa, ga = f(a), g(a)
+    sf = float(f._slope_at(np.array([a]))[0])
+    sg = float(g._slope_at(np.array([a]))[0])
+    if sf == sg:
+        return None
+    t = a + (ga - fa) / (sf - sg)
+    if a < t < b:
+        return float(t)
+    return None
+
+
+def zero_curve() -> PiecewiseLinearCurve:
+    """The identically-zero curve."""
+    return PiecewiseLinearCurve([0.0], [0.0], [0.0])
+
+
+def linear_curve(rate: float, *, offset: float = 0.0) -> PiecewiseLinearCurve:
+    """``f(Δ) = offset + rate·Δ`` — e.g. the full-processor service curve
+    ``β(Δ) = F·Δ`` of the paper's eq. (9)."""
+    check_non_negative(rate, "rate")
+    check_non_negative(offset, "offset")
+    return PiecewiseLinearCurve([0.0], [offset], [rate])
+
+
+def step_curve(jump_positions: Sequence[float], jump_heights: Sequence[float] | None = None) -> PiecewiseLinearCurve:
+    """Right-continuous staircase: at each position the curve jumps by the
+    corresponding height (default 1).  Positions must be non-decreasing and
+    non-negative; coincident positions merge their heights.
+
+    This is the natural form of a trace-derived arrival curve ``ᾱ(Δ)``.
+    """
+    pos = np.asarray(jump_positions, dtype=float)
+    if pos.ndim != 1 or pos.size == 0:
+        raise ValidationError("jump_positions must be a non-empty 1-D sequence")
+    if np.any(pos < 0) or np.any(np.diff(pos) < 0):
+        raise ValidationError("jump_positions must be non-negative and non-decreasing")
+    if jump_heights is None:
+        hts = np.ones(pos.size)
+    else:
+        hts = np.asarray(jump_heights, dtype=float)
+        if hts.shape != pos.shape:
+            raise ValidationError("jump_heights must match jump_positions")
+        if np.any(hts <= 0):
+            raise ValidationError("jump heights must be positive")
+    # merge coincident positions
+    uniq, inverse = np.unique(pos, return_inverse=True)
+    merged = np.zeros(uniq.size)
+    np.add.at(merged, inverse, hts)
+    cumulative = np.cumsum(merged)
+    if uniq[0] == 0.0:
+        xs = uniq
+        ys = cumulative
+    else:
+        xs = np.concatenate(([0.0], uniq))
+        ys = np.concatenate(([0.0], cumulative))
+    return PiecewiseLinearCurve(xs, ys, np.zeros(xs.size))

@@ -1,0 +1,136 @@
+"""Standard parameterized event models as arrival curves.
+
+The paper combines workload curves "with event models, which describe the
+temporal behavior of task activation".  This module provides the classical
+parameterized models of the real-time calculus / SymTA:S literature as
+arrival-curve pairs:
+
+* **periodic** ``(p)``;
+* **periodic with jitter** ``(p, j)``;
+* **periodic with jitter and minimum distance** ``(p, j, d)`` — jitter may
+  cluster events, but never closer than ``d``;
+* **sporadic** ``(d)`` — only a minimum inter-arrival distance;
+* **periodic bursts** ``(p, b, d)`` — up to ``b`` events per period,
+  spaced at least ``d`` inside the burst.
+
+All upper curves use the closed-window convention
+(``ᾱ(Δ) = max events in any closed window of length Δ``), matching the
+trace extraction in :mod:`repro.curves.arrival`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.curves.arrival import periodic_lower, periodic_upper
+from repro.curves.curve import PiecewiseLinearCurve, step_curve
+from repro.util.validation import ValidationError, check_integer, check_non_negative, check_positive
+
+__all__ = ["EventModel", "pjd_event_model", "sporadic_event_model", "periodic_burst_event_model"]
+
+
+@dataclass(frozen=True)
+class EventModel:
+    """An event stream abstraction: upper and lower arrival curves plus the
+    parameters they came from (for reporting)."""
+
+    name: str
+    upper: PiecewiseLinearCurve
+    lower: PiecewiseLinearCurve
+
+    def __post_init__(self) -> None:
+        ds = np.linspace(0.0, 50.0, 101)
+        if np.any(self.lower(ds) > self.upper(ds) + 1e-9):
+            raise ValidationError("lower arrival curve exceeds upper arrival curve")
+
+
+def pjd_event_model(
+    period: float,
+    jitter: float = 0.0,
+    min_distance: float = 0.0,
+    *,
+    horizon_periods: int = 64,
+) -> EventModel:
+    """The ``(p, j, d)`` model.
+
+    Upper curve: ``min( ⌊(Δ+j)/p⌋ + 1, ⌊Δ/d⌋ + 1 )`` — jitter clusters
+    events, the minimum distance ``d`` caps the cluster density.  With
+    ``d = 0`` this is the plain ``(p, j)`` model; with ``j = 0`` the strict
+    periodic model.
+    """
+    p = check_positive(period, "period")
+    j = check_non_negative(jitter, "jitter")
+    d = check_non_negative(min_distance, "min_distance")
+    if d > p:
+        raise ValidationError("min_distance cannot exceed the period")
+    upper = periodic_upper(p, jitter=j, horizon_periods=horizon_periods)
+    if d > 0.0:
+        cap_steps = [i * d for i in range(horizon_periods)]
+        cap = step_curve(cap_steps)
+        xs = cap.breakpoints
+        ys = cap.values_at_breakpoints
+        ss = cap.slopes
+        ss[-1] = 1.0 / d  # sound linear continuation of the density cap
+        cap = PiecewiseLinearCurve(xs, ys, ss)
+        upper = upper.minimum(cap)
+    lower = periodic_lower(p, jitter=j, horizon_periods=horizon_periods)
+    return EventModel(f"pjd(p={p:g}, j={j:g}, d={d:g})", upper, lower)
+
+
+def sporadic_event_model(min_distance: float, *, horizon_events: int = 64) -> EventModel:
+    """The sporadic model: inter-arrivals at least *min_distance*, no upper
+    bound on gaps.  Upper curve ``⌊Δ/d⌋ + 1``; lower curve identically 0."""
+    d = check_positive(min_distance, "min_distance")
+    n = check_integer(horizon_events, "horizon_events", minimum=1)
+    steps = [i * d for i in range(n)]
+    upper = step_curve(steps)
+    xs = upper.breakpoints
+    ys = upper.values_at_breakpoints
+    ss = upper.slopes
+    ss[-1] = 1.0 / d
+    upper = PiecewiseLinearCurve(xs, ys, ss)
+    lower = PiecewiseLinearCurve([0.0], [0.0], [0.0])
+    return EventModel(f"sporadic(d={d:g})", upper, lower)
+
+
+def periodic_burst_event_model(
+    period: float,
+    burst: int,
+    min_distance: float,
+    *,
+    horizon_periods: int = 32,
+) -> EventModel:
+    """Periodic bursts: up to *burst* events per *period*, events inside a
+    burst at least *min_distance* apart.
+
+    Upper curve: ``b·(⌊Δ/p⌋ + 1)`` capped by the in-burst density
+    ``⌊Δ/d⌋ + 1``; lower curve: ``b·⌊Δ/p⌋`` minus edge effects (we use the
+    sound ``b·max(0, ⌊(Δ − (b−1)d)/p⌋)``).
+    """
+    p = check_positive(period, "period")
+    b = check_integer(burst, "burst", minimum=1)
+    d = check_positive(min_distance, "min_distance")
+    if (b - 1) * d >= p:
+        raise ValidationError("a full burst must fit inside one period")
+    # exact construction: event n (0-based) can arrive earliest at
+    # (n // b)·p + (n % b)·d — the densest packing starts at a burst
+    positions: list[float] = []
+    for n in range(horizon_periods * b):
+        cycle, inside = divmod(n, b)
+        positions.append(cycle * p + inside * d)
+    base = np.array(positions)
+    # the densest window starts at a burst: minimal window containing n+1
+    # events is positions[n] (first event at 0)
+    upper = step_curve(base)
+    xs = upper.breakpoints
+    ys = upper.values_at_breakpoints
+    ss = upper.slopes
+    ss[-1] = b / p
+    upper = PiecewiseLinearCurve(xs, ys, ss)
+    # lower: a window is guaranteed b events per full period it spans after
+    # losing up to one burst length at each edge
+    lower_steps = [(k + 1) * p + (b - 1) * d for k in range(horizon_periods)]
+    lower = step_curve(lower_steps, [float(b)] * len(lower_steps))
+    return EventModel(f"burst(p={p:g}, b={b}, d={d:g})", upper, lower)

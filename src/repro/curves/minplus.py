@@ -1,0 +1,338 @@
+"""Min-plus convolution and deconvolution of PWL curves.
+
+Network Calculus composes curves with the min-plus operators
+
+.. math::
+
+    (f ⊗ g)(Δ) = \\inf_{0 \\le s \\le Δ} f(s) + g(Δ - s) \\qquad
+    (f ⊘ g)(Δ) = \\sup_{u \\ge 0} f(Δ + u) - g(u)
+
+Convolution concatenates service elements and implements greedy shapers;
+deconvolution yields the output arrival curve of a served flow.
+
+Min-plus algebra is defined over the set ``F`` of wide-sense increasing
+functions with ``f(0) = 0``; our right-continuous PWL curves store the
+*right limit* at 0 (the burst), so the operators here apply the
+``f(0) = 0`` convention at the origin.  This recovers the textbook
+identities, e.g. the convolution of two leaky buckets is their pointwise
+minimum, and a greedy shaper never increases a conforming flow's burst.
+
+Exactness
+---------
+Both operators are computed exactly for PWL inputs.  The optimizer of the
+inner inf/sup is always attained at a breakpoint of ``f`` or a (shifted)
+breakpoint of ``g``; between two adjacent points of the breakpoint
+sum/difference set every such *configuration* is a straight line, so the
+result restricted to that interval is the lower (upper) envelope of a
+finite set of lines, which we compute with an exact envelope sweep —
+including the crossing breakpoints that do not belong to the sum set.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.curves.curve import EPS_REL, PiecewiseLinearCurve
+from repro.util.validation import ValidationError
+
+__all__ = [
+    "convolve",
+    "deconvolve",
+    "convolve_at",
+    "deconvolve_at",
+    "self_convolution_fixpoint",
+    "UnboundedCurveError",
+]
+
+
+class UnboundedCurveError(ValidationError):
+    """Raised when a deconvolution diverges (``f`` grows faster than ``g``).
+
+    In analysis terms: the flow's long-term rate exceeds the long-term
+    service rate, so no finite output bound/backlog exists.
+    """
+
+
+def _eps_for(x: float) -> float:
+    return EPS_REL * max(1.0, abs(x))
+
+
+def _eval0(curve: PiecewiseLinearCurve, x: float) -> float:
+    """Evaluate under the min-plus convention ``f(0) = 0`` (see module
+    docstring)."""
+    return 0.0 if x == 0.0 else float(curve(x))
+
+
+# ---------------------------------------------------------------------------
+# point evaluation
+# ---------------------------------------------------------------------------
+
+def convolve_at(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, delta: float) -> float:
+    """Exact evaluation of ``(f ⊗ g)(Δ)`` at a single point."""
+    if delta < 0:
+        raise ValidationError("delta must be >= 0")
+    cands: set[float] = {0.0, float(delta)}
+    for xf in f.breakpoints:
+        for s in (float(xf), float(xf) - _eps_for(xf)):
+            if 0.0 <= s <= delta:
+                cands.add(s)
+    for xg in g.breakpoints:
+        for s in (delta - float(xg), delta - float(xg) + _eps_for(xg)):
+            if 0.0 <= s <= delta:
+                cands.add(s)
+    return min(_eval0(f, s) + _eval0(g, delta - s) for s in cands)
+
+
+def deconvolve_at(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, delta: float) -> float:
+    """Exact evaluation of ``(f ⊘ g)(Δ)`` at a single point.
+
+    Raises :class:`UnboundedCurveError` if ``f`` outgrows ``g``.
+    """
+    if delta < 0:
+        raise ValidationError("delta must be >= 0")
+    if f.final_slope > g.final_slope + 1e-12:
+        raise UnboundedCurveError(
+            f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
+            f"service rate {g.final_slope:g}"
+        )
+    cands: set[float] = {0.0}
+    for xg in g.breakpoints:
+        # probe just below a g-breakpoint: g's left limit is smaller when g
+        # jumps, which can only increase the supremum
+        for u in (float(xg), float(xg) - _eps_for(xg)):
+            if u >= 0.0:
+                cands.add(u)
+    for xf in f.breakpoints:
+        for u in (float(xf) - delta, float(xf) - delta - _eps_for(xf)):
+            if u >= 0.0:
+                cands.add(u)
+    return max(float(f(delta + u)) - _eval0(g, u) for u in cands)
+
+
+# ---------------------------------------------------------------------------
+# exact curve construction via per-interval line envelopes
+# ---------------------------------------------------------------------------
+
+def _line_envelope_on_interval(
+    lines: list[tuple[float, float]], a: float, b: float, *, lower: bool
+) -> list[tuple[float, float, float]]:
+    """Envelope of ``value = v_mid + slope·(Δ − mid)`` lines on ``[a, b)``.
+
+    Each line is given as ``(value_at_a, slope)``.  Returns segments
+    ``(start, value_at_start, slope)`` covering ``[a, b)`` of the lower
+    (``lower=True``) or upper envelope, exact crossings included.
+    """
+    if not lines:
+        raise ValidationError("envelope needs at least one line")
+    segments: list[tuple[float, float, float]] = []
+    x = a
+    # pick the winning line at x (ties broken by slope: flattest wins for
+    # lower envelope, steepest for upper)
+    remaining = sorted(set(lines))
+    max_segments = len(remaining) + 2  # each crossing switches to a new line
+    while x < b - 1e-18 and len(segments) < max_segments:
+        best_val = None
+        best_slope = None
+        for va, s in remaining:
+            v = va + s * (x - a)
+            if best_val is None or (v < best_val - 1e-12 if lower else v > best_val + 1e-12):
+                best_val, best_slope = v, s
+            elif abs(v - best_val) <= 1e-12 + 1e-12 * abs(best_val):
+                if (lower and s < best_slope) or (not lower and s > best_slope):
+                    best_val, best_slope = v, s
+        # find the first crossing where another line overtakes the winner
+        next_x = b
+        for va, s in remaining:
+            rel = s - best_slope
+            # near-parallel lines never produce a meaningful crossing; a
+            # denormal slope difference would yield a numerically garbage
+            # crossing abscissa, so treat it as parallel
+            if abs(rel) <= 1e-15 * max(1.0, abs(s), abs(best_slope)):
+                continue
+            v = va + s * (x - a)
+            gap = v - best_val
+            # the challenger wins when best_val + best_slope·t crosses it
+            if (lower and rel < 0) or (not lower and rel > 0):
+                t = gap / (-rel)
+                if t > 1e-15 and x + t < next_x:
+                    next_x = x + t
+        segments.append((x, best_val, best_slope))
+        if not math.isfinite(next_x):
+            break
+        x = next_x
+    return segments
+
+
+def _configuration_lines_convolve(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, a: float, mid: float
+) -> list[tuple[float, float]]:
+    """All candidate lines for (f⊗g) on an interval with midpoint *mid*.
+
+    Configurations: ``s`` pinned at a breakpoint of f (line follows g), or
+    ``Δ − s`` pinned at a breakpoint of g (line follows f).  Only
+    configurations feasible throughout the interval contribute.
+    """
+    lines: list[tuple[float, float]] = []
+    for xf in f.breakpoints:
+        s = float(xf)
+        if s <= a + 1e-15:
+            rest = mid - s
+            slope = float(g.slopes[np.searchsorted(g.breakpoints, rest, side="right") - 1])
+            val_mid = _eval0(f, s) + _eval0(g, rest)
+            lines.append((val_mid - slope * (mid - a), slope))
+            # f is right-continuous: the inf can be approached with s just
+            # below the breakpoint, paying f's left limit (matters when f
+            # jumps, e.g. staircase arrival curves)
+            if s > 0.0:
+                val_mid_left = f.left_limit(s) + _eval0(g, rest)
+                lines.append((val_mid_left - slope * (mid - a), slope))
+    for xg in g.breakpoints:
+        r = float(xg)
+        if r <= a + 1e-15:
+            s_mid = mid - r
+            slope = float(f.slopes[np.searchsorted(f.breakpoints, s_mid, side="right") - 1])
+            val_mid = _eval0(f, s_mid) + _eval0(g, r)
+            lines.append((val_mid - slope * (mid - a), slope))
+            # likewise, Δ − s can sit just below a g-breakpoint, paying g's
+            # left limit
+            if r > 0.0:
+                val_mid_left = _eval0(f, s_mid) + g.left_limit(r)
+                lines.append((val_mid_left - slope * (mid - a), slope))
+    return lines
+
+
+def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+    """Min-plus convolution ``f ⊗ g`` as a new PWL curve (exact).
+
+    With ``n`` and ``m`` segments the construction is O(n·m·(n+m)); for
+    trace staircases with thousands of jumps prefer :func:`convolve_at` on
+    the Δ values you need.
+    """
+    sums = {float(xa + xb) for xa in f.breakpoints for xb in g.breakpoints}
+    sums.add(0.0)
+    grid = sorted(sums)
+    xs: list[float] = []
+    ys: list[float] = []
+    ss: list[float] = []
+    final_slope = min(f.final_slope, g.final_slope)
+    for i, a in enumerate(grid):
+        last = i + 1 >= len(grid)
+        b = a + max(1.0, abs(a)) if last else grid[i + 1]
+        mid = 0.5 * (a + b)
+        lines = _configuration_lines_convolve(f, g, a, mid)
+        if last:
+            b = math.inf
+        # the envelope value at `a` is already the right limit: configurations
+        # feasible on [a, b) evaluated at a reproduce the RC value exactly
+        for start, val, slope in _line_envelope_on_interval(lines, a, b, lower=True):
+            xs.append(start)
+            ys.append(max(val, 0.0))
+            ss.append(max(slope, 0.0))
+    ss[-1] = max(final_slope, 0.0)
+    return _monotone_pwl(xs, ys, ss)
+
+
+def _configuration_lines_deconvolve(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, a: float, mid: float
+) -> list[tuple[float, float]]:
+    """Candidate lines for (f⊘g) on an interval with midpoint *mid*.
+
+    Configurations: ``u`` pinned at a breakpoint of g (line follows f,
+    always feasible), or ``Δ + u`` pinned at a breakpoint of f (line slope
+    is g's local slope; feasible while ``x_f >= Δ``)."""
+    lines: list[tuple[float, float]] = []
+    for xg in g.breakpoints:
+        u = float(xg)
+        slope = float(f.slopes[np.searchsorted(f.breakpoints, mid + u, side="right") - 1])
+        val_mid = float(f(mid + u)) - _eval0(g, u)
+        lines.append((val_mid - slope * (mid - a), slope))
+        # probe just below a g-jump: g's left limit is smaller, which can
+        # only increase the supremum (f changes only infinitesimally there
+        # unless Δ+u hits an f-breakpoint, which is a grid point)
+        if u > 0.0:
+            val_mid_left = float(f(mid + u)) - g.left_limit(u)
+            lines.append((val_mid_left - slope * (mid - a), slope))
+    for xf in f.breakpoints:
+        t = float(xf)
+        if t >= mid:  # u = t − Δ stays >= 0 around the midpoint
+            u_mid = t - mid
+            slope = float(g.slopes[np.searchsorted(g.breakpoints, u_mid, side="right") - 1])
+            val_mid = float(f(t)) - _eval0(g, u_mid)
+            lines.append((val_mid - slope * (mid - a), slope))
+    return lines
+
+
+def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+    """Min-plus deconvolution ``f ⊘ g`` as a new PWL curve (exact up to
+    left-limit epsilon probes at jumps).
+
+    Used for the output arrival curve ``α* = α ⊘ β`` of a served flow.
+    Raises :class:`UnboundedCurveError` when the result is infinite.
+    """
+    if f.final_slope > g.final_slope + 1e-12:
+        raise UnboundedCurveError(
+            f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
+            f"service rate {g.final_slope:g}"
+        )
+    diffs = {float(xa - xb) for xa in f.breakpoints for xb in g.breakpoints}
+    diffs.add(0.0)
+    grid = sorted(d for d in diffs if d >= 0.0)
+    if grid[0] != 0.0:
+        grid.insert(0, 0.0)
+    xs: list[float] = []
+    ys: list[float] = []
+    ss: list[float] = []
+    for i, a in enumerate(grid):
+        last = i + 1 >= len(grid)
+        b = a + max(1.0, abs(a)) if last else grid[i + 1]
+        mid = 0.5 * (a + b)
+        lines = _configuration_lines_deconvolve(f, g, a, mid)
+        if last:
+            b = math.inf
+        for start, val, slope in _line_envelope_on_interval(lines, a, b, lower=False):
+            xs.append(start)
+            ys.append(max(val, 0.0))
+            ss.append(max(slope, 0.0))
+    ss[-1] = max(f.final_slope, 0.0)
+    return _monotone_pwl(xs, ys, ss)
+
+
+def _monotone_pwl(xs: list[float], ys: list[float], ss: list[float]) -> PiecewiseLinearCurve:
+    """Assemble a PWL curve, snapping tiny numerical dips to monotone.
+
+    Dips below a previous segment's left limit of relative size up to 1e-6
+    are attributed to floating-point noise in the envelope sweep and snapped
+    up; anything larger would indicate a logic error and is surfaced by the
+    :class:`PiecewiseLinearCurve` constructor.
+    """
+    x = np.array(xs)
+    y = np.array(ys)
+    s = np.array(ss)
+    for i in range(1, x.size):
+        left = y[i - 1] + s[i - 1] * (x[i] - x[i - 1])
+        if y[i] < left and (left - y[i]) <= 1e-6 * max(1.0, abs(left)):
+            y[i] = left
+    return PiecewiseLinearCurve(x, y, s).simplified()
+
+
+def self_convolution_fixpoint(
+    f: PiecewiseLinearCurve, *, iterations: int = 8
+) -> PiecewiseLinearCurve:
+    """Sub-additive closure approximation ``f* ≈ min(f, f⊗f, f⊗f⊗f, ...)``.
+
+    Iterates ``h ← min(h, h ⊗ f)`` up to *iterations* times, stopping early
+    at a fixpoint; concave curves stabilize after one step, where the result
+    is exact.
+    """
+    if iterations < 1:
+        raise ValidationError("iterations must be >= 1")
+    h = f
+    for _ in range(iterations):
+        nxt = h.minimum(convolve(h, f))
+        if nxt == h:
+            break
+        h = nxt
+    return h

@@ -1,0 +1,164 @@
+"""Service curves ``β(Δ)``: guaranteed service over any time window.
+
+A (lower) service curve bounds from below the amount of service a flow
+receives from a resource in any window of length Δ (paper §3.2).  For a task
+owning a full programmable PE the natural curve is ``β(Δ) = F·Δ`` cycles
+(the form used in the paper's eq. (9)); shared resources yield rate-latency,
+TDMA, or remaining-service shapes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.curves.curve import EPS_REL, PiecewiseLinearCurve
+from repro.util.validation import (
+    ValidationError,
+    check_integer,
+    check_non_negative,
+    check_positive,
+)
+
+__all__ = [
+    "full_processor",
+    "rate_latency",
+    "tdma",
+    "remaining_service_fp",
+]
+
+
+def full_processor(frequency: float) -> PiecewiseLinearCurve:
+    """Service curve of a dedicated PE at clock *frequency*:
+    ``β(Δ) = F·Δ`` cycles (paper: "the full processor resource is devoted to
+    the decoding subtasks")."""
+    check_positive(frequency, "frequency")
+    return PiecewiseLinearCurve([0.0], [0.0], [frequency])
+
+
+def rate_latency(rate: float, latency: float) -> PiecewiseLinearCurve:
+    """Rate-latency service curve ``β(Δ) = rate·max(0, Δ − latency)`` — the
+    standard abstraction of a scheduler granting *rate* after an initial
+    stall of *latency*."""
+    check_positive(rate, "rate")
+    check_non_negative(latency, "latency")
+    if latency == 0.0:
+        return full_processor(rate)
+    return PiecewiseLinearCurve([0.0, latency], [0.0, 0.0], [0.0, rate])
+
+
+def tdma(slot: float, cycle: float, bandwidth: float, *, horizon_cycles: int = 32) -> PiecewiseLinearCurve:
+    """Lower service curve of a TDMA resource granting a *slot* of every
+    *cycle* at *bandwidth* cycles/second:
+
+    .. math::
+
+        β(Δ) = B·( \\lfloor Δ/c \\rfloor·s + \\max(0, Δ \\bmod c - (c - s)) )
+
+    (worst case: the window opens right after the slot closes).  Exact for
+    the first *horizon_cycles* cycles, then extended with the sound linear
+    tail of slope ``B·s/c`` anchored at the end of a blackout phase.
+    """
+    s = check_positive(slot, "slot")
+    c = check_positive(cycle, "cycle")
+    b = check_positive(bandwidth, "bandwidth")
+    if s > c:
+        raise ValidationError("slot must not exceed cycle")
+    n = check_integer(horizon_cycles, "horizon_cycles", minimum=1)
+    if s == c:
+        return full_processor(b)
+    xs: list[float] = []
+    ys: list[float] = []
+    ss: list[float] = []
+    for k in range(n):
+        # blackout segment [k·c, k·c + (c−s)), then active segment
+        xs.append(k * c)
+        ys.append(b * k * s)
+        ss.append(0.0)
+        xs.append(k * c + (c - s))
+        ys.append(b * k * s)
+        ss.append(b)
+    # tail: anchor at the end of the last blackout with average slope
+    xs.append(n * c)
+    ys.append(b * n * s)
+    ss.append(0.0)
+    xs.append(n * c + (c - s))
+    ys.append(b * n * s)
+    ss.append(b * s / c)
+    return PiecewiseLinearCurve(xs, ys, ss)
+
+
+def remaining_service_fp(
+    beta: PiecewiseLinearCurve, alpha_hp: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """Service left for a lower-priority task under fixed-priority
+    scheduling:
+
+    .. math::
+
+        β'(Δ) = \\sup_{0 \\le u \\le Δ} \\big(β(u) - α_{hp}(u)\\big)^+
+
+    where ``α_hp`` is the (cycle-based) arrival curve of all higher-priority
+    demand.  The running supremum keeps the result wide-sense increasing.
+    Raises if the higher-priority demand saturates the resource
+    (``α_hp`` final slope >= ``β`` final slope), since then no long-run
+    service remains.
+    """
+    if alpha_hp.final_slope >= beta.final_slope:
+        raise ValidationError(
+            "higher-priority demand saturates the resource "
+            f"(rate {alpha_hp.final_slope:g} >= service rate {beta.final_slope:g})"
+        )
+    # candidate interval endpoints: breakpoints of both curves plus
+    # left-limit probes (α_hp jumps make the difference drop discontinuously)
+    cands: set[float] = {0.0}
+    for bp in np.concatenate((beta.breakpoints, alpha_hp.breakpoints)):
+        cands.add(float(bp))
+        eps = EPS_REL * max(1.0, abs(bp))
+        if bp - eps >= 0.0:
+            cands.add(float(bp - eps))
+    grid = sorted(cands)
+    # exact sweep: within each interval the difference d(u) is linear; the
+    # running supremum is therefore flat (while d < M), or follows d once it
+    # crosses the current maximum M — emit the kink point explicitly
+    xs: list[float] = []
+    ys: list[float] = []
+    ss: list[float] = []
+
+    def emit(x: float, y: float, s: float) -> None:
+        if xs and abs(x - xs[-1]) < 1e-18:
+            ys[-1] = max(ys[-1], y)
+            ss[-1] = s
+            return
+        xs.append(x)
+        ys.append(y)
+        ss.append(s)
+
+    running = 0.0
+    for i, a in enumerate(grid):
+        b = grid[i + 1] if i + 1 < len(grid) else math.inf
+        d_a = float(beta(a)) - float(alpha_hp(a))
+        idx_b = int(np.searchsorted(beta.breakpoints, a, side="right")) - 1
+        idx_a = int(np.searchsorted(alpha_hp.breakpoints, a, side="right")) - 1
+        slope = float(beta.slopes[idx_b]) - float(alpha_hp.slopes[idx_a])
+        if d_a >= running:
+            running = d_a
+            emit(a, running, max(slope, 0.0))
+            if slope > 0:
+                gain = slope * ((b - a) if math.isfinite(b) else 0.0)
+                running += gain if math.isfinite(b) else 0.0
+                if not math.isfinite(b):
+                    break
+            continue
+        # difference starts below the plateau
+        emit(a, running, 0.0)
+        if slope > 0:
+            cross = a + (running - d_a) / slope
+            if cross < b:
+                emit(cross, running, slope)
+                running += slope * ((b - cross) if math.isfinite(b) else 0.0)
+                if not math.isfinite(b):
+                    break
+    ss[-1] = max(0.0, beta.final_slope - alpha_hp.final_slope)
+    return PiecewiseLinearCurve(np.array(xs), np.array(ys), np.array(ss)).simplified()

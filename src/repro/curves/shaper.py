@@ -1,0 +1,61 @@
+"""Greedy traffic shapers.
+
+A greedy shaper with shaping curve ``σ`` delays events just enough that its
+output has ``σ`` as an arrival curve.  Two classical results (Le Boudec &
+Thiran) implemented here:
+
+* the shaper output has arrival curve ``α_out = α ⊗ σ``;
+* a greedy shaper is a service element with service curve ``σ``, so the
+  shaper's own buffer and delay are bounded by the usual vertical/horizontal
+  deviations.
+
+Shapers are not used by the paper's two experiments but are the natural next
+block when composing multi-PE streaming analyses with workload curves, and
+the "on-chip buffer constraints" follow-up work relies on them.
+"""
+
+from __future__ import annotations
+
+from repro.curves.bounds import backlog_bound, delay_bound
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.minplus import convolve
+from repro.util.validation import ValidationError
+
+__all__ = ["GreedyShaper"]
+
+
+class GreedyShaper:
+    """A greedy shaper with sub-additive shaping curve ``σ``.
+
+    Parameters
+    ----------
+    sigma:
+        The shaping curve.  It should satisfy ``σ(0) >= 0`` and be
+        wide-sense increasing (guaranteed by
+        :class:`~repro.curves.curve.PiecewiseLinearCurve`); concave curves
+        (e.g. leaky buckets) are automatically sub-additive.
+    """
+
+    def __init__(self, sigma: PiecewiseLinearCurve):
+        if not isinstance(sigma, PiecewiseLinearCurve):
+            raise ValidationError("sigma must be a PiecewiseLinearCurve")
+        self.sigma = sigma
+
+    def output_arrival_curve(self, alpha: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+        """Arrival curve of the shaped flow: ``α ⊗ σ``."""
+        return convolve(alpha, self.sigma)
+
+    def buffer_requirement(self, alpha: PiecewiseLinearCurve) -> float:
+        """Backlog bound inside the shaper (vertical deviation between the
+        input arrival curve and σ viewed as a service curve)."""
+        return backlog_bound(alpha, self.sigma)
+
+    def delay_requirement(self, alpha: PiecewiseLinearCurve) -> float:
+        """Worst-case delay introduced by the shaper (horizontal
+        deviation)."""
+        return delay_bound(alpha, self.sigma)
+
+    def is_transparent_for(self, alpha: PiecewiseLinearCurve) -> bool:
+        """True if the flow already conforms to σ (shaping is a no-op):
+        ``σ`` dominates ``α`` pointwise."""
+        return self.sigma.dominates(alpha)

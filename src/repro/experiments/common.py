@@ -1,0 +1,157 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Each experiment module regenerates one paper artifact (figure or table) and
+returns an :class:`ExperimentResult` — a machine-readable payload plus a
+rendered text report.  The heavyweight MPEG-2 preparation (clip generation,
+curve extraction, envelopes) is shared across experiments through a cached
+:class:`CaseStudyContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.frequency import (
+    FrequencyBound,
+    minimum_frequency_curves,
+    minimum_frequency_wcet,
+)
+from repro.core.operations import envelope_lower, envelope_upper
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.mpeg.bitstream import SyntheticClip
+from repro.mpeg.clips import standard_clips
+from repro.util.staircase import make_k_grid
+from repro.util.validation import check_integer
+
+__all__ = ["ExperimentResult", "CaseStudyContext", "case_study_context", "BUFFER_ONE_FRAME"]
+
+#: The paper's FIFO size: one frame of macroblocks.
+BUFFER_ONE_FRAME = 1620
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment harness.
+
+    Attributes
+    ----------
+    experiment_id:
+        Index entry from DESIGN.md (e.g. ``"E5"``).
+    title:
+        Human-readable title.
+    paper_reference:
+        The paper artifact being regenerated (e.g. ``"Figure 7"``).
+    report:
+        Rendered text (tables/ascii charts) comparable against the paper.
+    data:
+        Machine-readable results for tests and downstream analysis.
+    """
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    report: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        header = f"[{self.experiment_id}] {self.title} ({self.paper_reference})"
+        return f"{header}\n{'=' * len(header)}\n{self.report}"
+
+
+@dataclass
+class CaseStudyContext:
+    """Prepared state of the MPEG-2 case study (paper §3.2).
+
+    Holds the 14 clips, their per-clip workload and arrival curves, the
+    cross-clip envelopes (the paper takes "maximum over all respective
+    curves of individual video clips"), and the two frequency bounds.
+    """
+
+    frames: int
+    buffer_size: int
+    clips: list[SyntheticClip]
+    gammas_upper: list[WorkloadCurve]
+    gammas_lower: list[WorkloadCurve]
+    alphas: list[PiecewiseLinearCurve]
+    gamma_u: WorkloadCurve
+    gamma_l: WorkloadCurve
+    alpha: PiecewiseLinearCurve
+    wcet: float
+    bcet: float
+    f_gamma: FrequencyBound
+    f_wcet: FrequencyBound
+
+    @property
+    def clip_names(self) -> list[str]:
+        """Names of the 14 clips, in order."""
+        return [c.profile.name for c in self.clips]
+
+
+_CONTEXT_CACHE: dict[tuple, CaseStudyContext] = {}
+
+
+def case_study_context(
+    *,
+    frames: int = 72,
+    buffer_size: int = BUFFER_ONE_FRAME,
+    dense_limit: int = 4096,
+    growth: float = 1.015,
+) -> CaseStudyContext:
+    """Build (or fetch the cached) case-study context.
+
+    *frames* trades fidelity against runtime: 72 frames (≈3 s, six GOPs,
+    ≈117 k macroblocks per clip) reproduces the paper's numbers in about
+    half a minute; smaller values are used by quick tests.
+    """
+    frames = check_integer(frames, "frames", minimum=12)
+    buffer_size = check_integer(buffer_size, "buffer_size", minimum=1)
+    key = (frames, buffer_size, dense_limit, growth)
+    if key in _CONTEXT_CACHE:
+        return _CONTEXT_CACHE[key]
+
+    clips = standard_clips(frames=frames)
+    gammas_u: list[WorkloadCurve] = []
+    gammas_l: list[WorkloadCurve] = []
+    alphas: list[PiecewiseLinearCurve] = []
+    for clip in clips:
+        data = clip.generate()
+        k_grid = make_k_grid(data.pe2_cycles.size, dense_limit=dense_limit, growth=growth)
+        gammas_u.append(
+            WorkloadCurve.from_demand_array(data.pe2_cycles, "upper", k_values=k_grid)
+        )
+        gammas_l.append(
+            WorkloadCurve.from_demand_array(data.pe2_cycles, "lower", k_values=k_grid)
+        )
+        n_grid = make_k_grid(data.pe1_output.size, dense_limit=dense_limit, growth=growth)
+        alphas.append(from_trace_upper(data.pe1_output, n_values=n_grid))
+
+    gamma_u = envelope_upper(gammas_u)
+    gamma_l = envelope_lower(gammas_l)
+    alpha = alphas[0]
+    for a in alphas[1:]:
+        alpha = alpha.maximum(a)
+    wcet = max(g.per_activation_bound for g in gammas_u)
+    bcet = min(g.per_activation_bound for g in gammas_l)
+    f_gamma = minimum_frequency_curves(alpha, gamma_u, buffer_size)
+    f_wcet = minimum_frequency_wcet(alpha, wcet, buffer_size)
+
+    ctx = CaseStudyContext(
+        frames=frames,
+        buffer_size=buffer_size,
+        clips=clips,
+        gammas_upper=gammas_u,
+        gammas_lower=gammas_l,
+        alphas=alphas,
+        gamma_u=gamma_u,
+        gamma_l=gamma_l,
+        alpha=alpha,
+        wcet=wcet,
+        bcet=bcet,
+        f_gamma=f_gamma,
+        f_wcet=f_wcet,
+    )
+    _CONTEXT_CACHE[key] = ctx
+    return ctx

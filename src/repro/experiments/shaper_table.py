@@ -1,0 +1,88 @@
+"""A4 — extension: greedy shaping of the PE1→PE2 stream.
+
+The authors' follow-up work ("On the Use of Greedy Shapers in Real-Time
+Embedded Systems") inserts a traffic shaper between producer and consumer
+to trade a small shaping buffer and delay for a calmer downstream stream.
+This harness quantifies that on the case study: shaping the PE1 output with
+a leaky bucket ``σ = (burst, rate)`` lowers the eq. (9) frequency bound of
+PE2, at the cost of the shaper's own buffer.
+
+The shaped stream conforms to both its original curve and σ, so
+``min(ᾱ, σ)`` is a valid (slightly conservative w.r.t. the exact ``ᾱ ⊗ σ``)
+arrival curve of the shaped flow.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.frequency import minimum_frequency_curves
+from repro.curves.arrival import leaky_bucket
+from repro.curves.bounds import backlog_bound
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.util.report import TextTable, format_quantity
+
+__all__ = ["run"]
+
+
+def run(
+    *,
+    frames: int = 72,
+    buffer_size: int = BUFFER_ONE_FRAME,
+    burst_fractions: tuple[float, ...] = (4.0, 2.0, 1.0, 0.5, 0.25),
+    rate_headroom: float = 1.02,
+) -> ExperimentResult:
+    """Sweep the shaping burst (as a fraction of a frame) and report the
+    downstream frequency bound and the shaper's buffer requirement."""
+    ctx = case_study_context(frames=frames, buffer_size=buffer_size)
+    base = ctx.f_gamma
+    shaping_rate = ctx.alpha.final_slope * rate_headroom
+
+    table = TextTable(
+        ["shaper burst (frames)", "F_gamma (PE2)", "vs unshaped", "shaper buffer (mb)"],
+        title=(
+            f"Greedy shaping of the PE1 output (rate = {shaping_rate:.0f} mb/s, "
+            f"unshaped F_gamma = {format_quantity(base.frequency, 'Hz')})"
+        ),
+    )
+    rows = []
+    for frac in burst_fractions:
+        burst = frac * BUFFER_ONE_FRAME
+        sigma = leaky_bucket(burst, shaping_rate)
+        shaped = ctx.alpha.minimum(sigma)
+        f_shaped = minimum_frequency_curves(shaped, ctx.gamma_u, buffer_size)
+        # a transparent shaper (σ dominating ᾱ) needs no buffer at all
+        shaper_buffer = max(0.0, backlog_bound(ctx.alpha, sigma))
+        table.add_row(
+            [
+                f"{frac:.2f}",
+                format_quantity(f_shaped.frequency, "Hz"),
+                f"{(f_shaped.frequency / base.frequency - 1) * 100:+.1f}%",
+                f"{shaper_buffer:.0f}",
+            ]
+        )
+        rows.append(
+            {
+                "burst_frames": frac,
+                "f_gamma": f_shaped.frequency,
+                "shaper_buffer": shaper_buffer,
+            }
+        )
+    report = "\n".join(
+        [
+            table.render(),
+            "",
+            "tighter shaping lowers the downstream clock monotonically while "
+            "the shaper's own buffer grows — the burst is not destroyed, "
+            "only relocated to where memory is cheaper",
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="A4",
+        title="Greedy shaping of the producer stream",
+        paper_reference="follow-up work, built from §3.2 machinery",
+        report=report,
+        data={"rows": rows, "unshaped_f_gamma": base.frequency},
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

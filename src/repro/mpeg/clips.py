@@ -1,0 +1,46 @@
+"""The 14 synthetic video clips of the case study.
+
+The paper evaluates 14 video clips, all encoded at CBR 9.78 Mbit/s, main
+profile at main level, 25 fps, 720×576.  We define 14 content presets
+spanning the variability axes of the demand model — from a static talking
+head to high-motion sports and noisy handheld footage — each pinned to a
+fixed seed, so "clip k" means the same stream in every experiment.
+"""
+
+from __future__ import annotations
+
+from repro.mpeg.bitstream import ClipProfile, SyntheticClip
+from repro.util.validation import check_integer
+
+__all__ = ["CLIP_PROFILES", "standard_clips"]
+
+#: Content presets for the 14 clips.  Activity/motion/texture span the model
+#: ranges; scene-cut rates separate edited material (trailer, music video)
+#: from continuous takes (interview, surveillance).
+CLIP_PROFILES: tuple[ClipProfile, ...] = (
+    ClipProfile("talking-head", seed=101, activity=0.18, motion=0.10, texture=0.30, scene_cut_rate=0.005),
+    ClipProfile("news-studio", seed=102, activity=0.25, motion=0.15, texture=0.40, scene_cut_rate=0.02),
+    ClipProfile("interview", seed=103, activity=0.22, motion=0.12, texture=0.55, scene_cut_rate=0.01),
+    ClipProfile("surveillance", seed=104, activity=0.12, motion=0.08, texture=0.45, scene_cut_rate=0.0),
+    ClipProfile("drama", seed=105, activity=0.40, motion=0.30, texture=0.60, scene_cut_rate=0.03),
+    ClipProfile("documentary", seed=106, activity=0.45, motion=0.35, texture=0.70, scene_cut_rate=0.025),
+    ClipProfile("cartoon", seed=107, activity=0.55, motion=0.45, texture=0.25, scene_cut_rate=0.05),
+    ClipProfile("music-video", seed=108, activity=0.70, motion=0.65, texture=0.65, scene_cut_rate=0.12),
+    ClipProfile("trailer", seed=109, activity=0.75, motion=0.70, texture=0.70, scene_cut_rate=0.15),
+    ClipProfile("football", seed=110, activity=0.70, motion=0.88, texture=0.55, scene_cut_rate=0.03),
+    ClipProfile("basketball", seed=111, activity=0.72, motion=0.92, texture=0.50, scene_cut_rate=0.04),
+    ClipProfile("motor-race", seed=112, activity=0.68, motion=0.97, texture=0.42, scene_cut_rate=0.04),
+    ClipProfile("handheld-street", seed=113, activity=0.78, motion=0.80, texture=0.90, scene_cut_rate=0.06),
+    ClipProfile("concert-crowd", seed=114, activity=0.95, motion=0.75, texture=0.95, scene_cut_rate=0.08),
+)
+
+
+def standard_clips(*, frames: int = 30, **clip_kwargs) -> list[SyntheticClip]:
+    """The 14 standard clips, each *frames* long.
+
+    Extra keyword arguments are forwarded to
+    :class:`~repro.mpeg.bitstream.SyntheticClip` (e.g. ``mb_per_frame`` to
+    scale experiments down).
+    """
+    check_integer(frames, "frames", minimum=1)
+    return [SyntheticClip(p, frames=frames, **clip_kwargs) for p in CLIP_PROFILES]

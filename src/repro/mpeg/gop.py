@@ -1,0 +1,85 @@
+"""Group-of-pictures structure.
+
+MPEG-2 organizes frames into GOPs; the classical broadcast pattern is
+``N = 12`` frames per GOP with ``M = 3`` (an anchor every 3rd frame):
+``I B B P B B P B B P B B`` in display order.  The decoder sees frames in
+*coded* order (anchors before the B-frames that reference them), which is
+the order that matters for decode-side workload analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.mpeg.macroblock import FrameType
+from repro.util.validation import ValidationError, check_integer
+
+__all__ = ["GopStructure"]
+
+
+@dataclass(frozen=True)
+class GopStructure:
+    """GOP with *n* frames and anchor distance *m* (``m - 1`` B-frames
+    between anchors).
+
+    ``n`` must be a positive multiple of ``m``; ``m = 1`` yields an
+    IPPP... stream without B-frames.
+    """
+
+    n: int = 12
+    m: int = 3
+
+    def __post_init__(self) -> None:
+        check_integer(self.n, "n", minimum=1)
+        check_integer(self.m, "m", minimum=1)
+        if self.n % self.m != 0:
+            raise ValidationError("GOP length n must be a multiple of the anchor distance m")
+
+    def display_order(self) -> list[FrameType]:
+        """Frame types of one GOP in display order."""
+        types: list[FrameType] = []
+        for i in range(self.n):
+            if i == 0:
+                types.append(FrameType.I)
+            elif i % self.m == 0:
+                types.append(FrameType.P)
+            else:
+                types.append(FrameType.B)
+        return types
+
+    def coded_order(self) -> list[FrameType]:
+        """Frame types of one GOP in coded (bitstream/decode) order: each
+        anchor precedes the B-frames displayed before it."""
+        display = self.display_order()
+        coded: list[FrameType] = []
+        pending_b: list[FrameType] = []
+        for ft in display:
+            if ft is FrameType.B:
+                pending_b.append(ft)
+            else:
+                coded.append(ft)
+                coded.extend(pending_b)
+                pending_b = []
+        coded.extend(pending_b)
+        return coded
+
+    def frame_types(self, num_frames: int, *, order: str = "coded") -> list[FrameType]:
+        """Frame types for *num_frames* consecutive frames (GOP repeated).
+
+        *order* is ``"coded"`` (decode order, default — what the PEs see) or
+        ``"display"``.
+        """
+        num_frames = check_integer(num_frames, "num_frames", minimum=1)
+        if order == "coded":
+            pattern = self.coded_order()
+        elif order == "display":
+            pattern = self.display_order()
+        else:
+            raise ValidationError(f"order must be 'coded' or 'display', got {order!r}")
+        reps = -(-num_frames // self.n)
+        return (pattern * reps)[:num_frames]
+
+    @property
+    def frames_per_gop(self) -> dict[FrameType, int]:
+        """Count of each frame type in one GOP."""
+        display = self.display_order()
+        return {ft: display.count(ft) for ft in FrameType}

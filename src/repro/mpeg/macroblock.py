@@ -1,0 +1,91 @@
+"""Macroblock-level model of an MPEG-2 video stream.
+
+The paper's case study decodes MPEG-2 main-profile/main-level CBR video:
+each frame is a grid of 16×16 *macroblocks*; each macroblock is decoded by
+VLD+IQ on PE1 and IDCT+MC on PE2 (Figure 5).  The execution demand of both
+stages varies strongly with the macroblock's coding decisions, which is
+exactly the variability workload curves capture.
+
+We model the attributes that drive the demand:
+
+* the *frame type* (I/P/B) of the enclosing picture,
+* the *coding class* (intra / inter / skipped),
+* the number of *coded blocks* (0–6 of the 4 luma + 2 chroma 8×8 blocks
+  carry coefficients; the MPEG-2 coded-block-pattern),
+* a *motion complexity* in [0, 1] (half-pel interpolation, field/frame
+  prediction mix — drives the MC cost),
+* a *texture complexity* in [0, 1] (coefficient density — drives VLD and
+  IDCT cost),
+* the number of compressed *bits* the macroblock occupies (drives the CBR
+  front-end timing on PE1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.util.validation import ValidationError, check_in_range, check_integer, check_non_negative
+
+__all__ = ["FrameType", "CodingClass", "Macroblock", "MACROBLOCKS_PER_FRAME_PAL"]
+
+#: 720×576 (PAL, main level) → 45×36 macroblocks, the paper's 1620 per frame.
+MACROBLOCKS_PER_FRAME_PAL = 1620
+
+
+class FrameType(Enum):
+    """MPEG-2 picture coding type."""
+
+    I = "I"
+    P = "P"
+    B = "B"
+
+
+class CodingClass(Enum):
+    """Macroblock coding decision."""
+
+    INTRA = "intra"
+    INTER = "inter"
+    SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class Macroblock:
+    """One macroblock with the attributes that determine its decode cost."""
+
+    frame_index: int
+    index_in_frame: int
+    frame_type: FrameType
+    coding: CodingClass
+    coded_blocks: int
+    motion_complexity: float
+    texture_complexity: float
+    bits: float
+
+    def __post_init__(self) -> None:
+        check_integer(self.frame_index, "frame_index", minimum=0)
+        check_integer(self.index_in_frame, "index_in_frame", minimum=0)
+        if not isinstance(self.frame_type, FrameType):
+            raise ValidationError("frame_type must be a FrameType")
+        if not isinstance(self.coding, CodingClass):
+            raise ValidationError("coding must be a CodingClass")
+        check_integer(self.coded_blocks, "coded_blocks", minimum=0)
+        if self.coded_blocks > 6:
+            raise ValidationError("coded_blocks must be <= 6 (4 luma + 2 chroma)")
+        if self.coding is CodingClass.INTRA and self.coded_blocks == 0:
+            raise ValidationError("intra macroblocks always carry coefficients")
+        if self.coding is CodingClass.SKIPPED and self.coded_blocks != 0:
+            raise ValidationError("skipped macroblocks carry no coefficients")
+        if self.coding is CodingClass.SKIPPED and self.frame_type is FrameType.I:
+            raise ValidationError("I-frames cannot contain skipped macroblocks")
+        if self.coding is CodingClass.INTRA and self.motion_complexity != 0.0:
+            raise ValidationError("intra macroblocks perform no motion compensation")
+        check_in_range(self.motion_complexity, "motion_complexity", 0.0, 1.0)
+        check_in_range(self.texture_complexity, "texture_complexity", 0.0, 1.0)
+        check_non_negative(self.bits, "bits")
+
+    @property
+    def type_name(self) -> str:
+        """Event-type label combining frame type and coding class, e.g.
+        ``"P/inter"`` — the typed-event alphabet of the §2.1 model."""
+        return f"{self.frame_type.value}/{self.coding.value}"

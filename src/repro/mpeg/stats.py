@@ -1,0 +1,111 @@
+"""Descriptive statistics of synthetic clips.
+
+Reporting helpers used by examples and sanity checks: per-frame-type demand
+and bit breakdowns, coding-class mix, and the demand histogram that shows
+the variability the workload curves capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpeg.bitstream import SyntheticClip
+from repro.util.report import TextTable
+from repro.util.validation import ValidationError
+
+__all__ = ["FrameTypeStats", "ClipStats", "clip_statistics"]
+
+_FRAME_NAMES = ["I", "P", "B"]
+_CODING_NAMES = ["intra", "inter", "skipped"]
+
+
+@dataclass(frozen=True)
+class FrameTypeStats:
+    """Per-frame-type aggregates."""
+
+    frame_type: str
+    macroblocks: int
+    mean_bits: float
+    mean_pe1_cycles: float
+    mean_pe2_cycles: float
+    coding_mix: dict[str, float]
+
+
+@dataclass(frozen=True)
+class ClipStats:
+    """Whole-clip aggregates plus the per-frame-type breakdown."""
+
+    name: str
+    n_macroblocks: int
+    duration: float
+    bit_rate: float
+    mean_pe2_cycles: float
+    max_pe2_cycles: float
+    wcet_over_mean: float
+    per_frame_type: tuple[FrameTypeStats, ...]
+
+    def render(self) -> str:
+        """Human-readable report."""
+        table = TextTable(
+            ["frame type", "macroblocks", "mean bits", "mean PE1 cyc", "mean PE2 cyc",
+             "intra%", "inter%", "skip%"],
+            title=(
+                f"clip {self.name!r}: {self.n_macroblocks} macroblocks, "
+                f"{self.bit_rate / 1e6:.2f} Mbit/s, "
+                f"PE2 WCET/mean = {self.wcet_over_mean:.2f}"
+            ),
+        )
+        for s in self.per_frame_type:
+            table.add_row(
+                [
+                    s.frame_type,
+                    s.macroblocks,
+                    f"{s.mean_bits:.0f}",
+                    f"{s.mean_pe1_cycles:.0f}",
+                    f"{s.mean_pe2_cycles:.0f}",
+                    f"{s.coding_mix['intra'] * 100:.1f}",
+                    f"{s.coding_mix['inter'] * 100:.1f}",
+                    f"{s.coding_mix['skipped'] * 100:.1f}",
+                ]
+            )
+        return table.render()
+
+
+def clip_statistics(clip: SyntheticClip) -> ClipStats:
+    """Compute :class:`ClipStats` for a (generated) clip."""
+    if not isinstance(clip, SyntheticClip):
+        raise ValidationError("clip must be a SyntheticClip")
+    data = clip.generate()
+    per_type: list[FrameTypeStats] = []
+    for code, name in enumerate(_FRAME_NAMES):
+        sel = data.frame_type_code == code
+        count = int(sel.sum())
+        if count == 0:
+            continue
+        mix = {
+            cname: float(np.mean(data.coding_code[sel] == ccode))
+            for ccode, cname in enumerate(_CODING_NAMES)
+        }
+        per_type.append(
+            FrameTypeStats(
+                frame_type=name,
+                macroblocks=count,
+                mean_bits=float(data.bits[sel].mean()),
+                mean_pe1_cycles=float(data.pe1_cycles[sel].mean()),
+                mean_pe2_cycles=float(data.pe2_cycles[sel].mean()),
+                coding_mix=mix,
+            )
+        )
+    mean_pe2 = float(data.pe2_cycles.mean())
+    return ClipStats(
+        name=clip.profile.name,
+        n_macroblocks=data.n_macroblocks,
+        duration=clip.duration(),
+        bit_rate=float(data.bits.sum()) / clip.duration(),
+        mean_pe2_cycles=mean_pe2,
+        max_pe2_cycles=float(data.pe2_cycles.max()),
+        wcet_over_mean=float(data.pe2_cycles.max()) / mean_pe2,
+        per_frame_type=tuple(per_type),
+    )

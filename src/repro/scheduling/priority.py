@@ -1,0 +1,88 @@
+"""Priority assignment beyond rate-monotonic.
+
+RM is optimal for implicit deadlines, but with constrained deadlines or
+workload-curve interference the optimal fixed-priority order can differ.
+This module provides:
+
+* deadline-monotonic ordering (optimal for constrained deadlines under the
+  classical model);
+* Audsley's optimal priority assignment (OPA), driven by either the classic
+  or the workload-curve response-time test — if *any* fixed-priority order
+  is feasible under the chosen test, OPA finds one.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Literal
+
+from repro.scheduling.task import PeriodicTask, TaskSet
+from repro.util.validation import ValidationError
+
+__all__ = ["deadline_monotonic", "audsley_assignment"]
+
+
+def deadline_monotonic(task_set: TaskSet) -> list[PeriodicTask]:
+    """Tasks ordered by increasing relative deadline (highest priority
+    first)."""
+    return sorted(task_set, key=lambda t: (t.deadline, t.period, t.name))
+
+
+def _lowest_priority_feasible(
+    candidate: PeriodicTask, others: list[PeriodicTask], method: str
+) -> bool:
+    """Is *candidate* schedulable at the lowest priority below *others*?
+
+    Evaluates the response time of *candidate* with every other task as
+    higher-priority interference.
+    """
+    # solve the response-time recurrence of the candidate with every other
+    # task as higher-priority interference (the order among them is
+    # irrelevant — the foundation of Audsley's argument)
+    own = candidate.demand_upper(1) if method == "workload-curves" else candidate.wcet
+    r = own
+    for _ in range(10_000):
+        interference = 0.0
+        for hp in others:
+            arrivals = max(1, math.ceil(r / hp.period - 1e-9))
+            if method == "workload-curves":
+                interference += hp.demand_upper(arrivals)
+            else:
+                interference += arrivals * hp.wcet
+        total = own + interference
+        if total > candidate.deadline + 1e-12:
+            return False
+        if abs(total - r) <= 1e-12 * max(1.0, abs(total)):
+            return True
+        r = total
+    raise ValidationError("response-time recurrence failed to converge")
+
+
+def audsley_assignment(
+    task_set: TaskSet, *, method: Literal["classic", "workload-curves"] = "workload-curves"
+) -> list[PeriodicTask] | None:
+    """Audsley's optimal priority assignment.
+
+    Returns a feasible priority order (highest first) under the chosen
+    response-time test, or ``None`` if no fixed-priority order is feasible.
+    OPA's classical argument carries over to the workload-curve test
+    because the interference bound ``γᵘ(⌈r/T⌉)`` of a higher-priority task
+    does not depend on the relative order *among* the higher-priority
+    tasks.
+    """
+    if method not in ("classic", "workload-curves"):
+        raise ValidationError(f"unknown method {method!r}")
+    unassigned = list(task_set)
+    order_low_to_high: list[PeriodicTask] = []
+    while unassigned:
+        placed = False
+        for candidate in sorted(unassigned, key=lambda t: -t.deadline):
+            others = [t for t in unassigned if t is not candidate]
+            if _lowest_priority_feasible(candidate, others, method):
+                order_low_to_high.append(candidate)
+                unassigned.remove(candidate)
+                placed = True
+                break
+        if not placed:
+            return None
+    return list(reversed(order_low_to_high))

@@ -1,0 +1,101 @@
+"""Sensitivity analysis: how much demand headroom does a design have?
+
+Given a schedulable task set, the *demand scaling factor* of a task is the
+largest multiplier on its execution demand (WCET and workload curves alike)
+that keeps the set schedulable — the designer-facing number when a codec
+gains a feature or a core is down-clocked.  Computed by binary search over
+the chosen schedulability test; the workload-curve test typically admits
+substantially more scaling than the classic one (the whole point of the
+paper).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.core.workload import WorkloadCurvePair
+from repro.scheduling.rms import rms_test_classic, rms_test_curves
+from repro.scheduling.task import PeriodicTask, TaskSet
+from repro.util.validation import ValidationError, check_positive
+
+__all__ = ["demand_scaling_factor", "frequency_scaling_factor"]
+
+
+def _scaled_set(task_set: TaskSet, name: str, factor: float) -> TaskSet | None:
+    tasks = []
+    for t in task_set:
+        if t.name != name:
+            tasks.append(t)
+            continue
+        wcet = t.wcet * factor
+        if wcet > t.deadline:
+            return None
+        curves = None
+        if t.curves is not None:
+            curves = WorkloadCurvePair(
+                t.curves.upper.scale(factor), t.curves.lower.scale(factor)
+            )
+        tasks.append(PeriodicTask(t.name, t.period, wcet, curves=curves, deadline=t.deadline))
+    return TaskSet(tasks)
+
+
+def demand_scaling_factor(
+    task_set: TaskSet,
+    task_name: str,
+    *,
+    method: Literal["classic", "workload-curves"] = "workload-curves",
+    precision: float = 1e-4,
+    upper_limit: float = 64.0,
+) -> float:
+    """Largest demand multiplier on *task_name* keeping the set RM-schedulable.
+
+    Returns 0 if the set is unschedulable already at factor → 0 (i.e. the
+    other tasks alone overload the processor under the chosen test).
+    """
+    task_set.by_name(task_name)  # raises KeyError for unknown names
+    check_positive(precision, "precision")
+    test = rms_test_curves if method == "workload-curves" else rms_test_classic
+    if method not in ("classic", "workload-curves"):
+        raise ValidationError(f"unknown method {method!r}")
+
+    def feasible(factor: float) -> bool:
+        scaled = _scaled_set(task_set, task_name, factor)
+        return scaled is not None and test(scaled).schedulable
+
+    if not feasible(precision):
+        return 0.0
+    lo, hi = precision, precision
+    while feasible(hi) and hi < upper_limit:
+        lo, hi = hi, hi * 2
+    if hi >= upper_limit and feasible(upper_limit):
+        return upper_limit
+    while hi - lo > precision:
+        mid = 0.5 * (lo + hi)
+        if feasible(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def frequency_scaling_factor(
+    task_set: TaskSet,
+    *,
+    method: Literal["classic", "workload-curves"] = "workload-curves",
+    precision: float = 1e-4,
+) -> float:
+    """Largest uniform demand multiplier on *all* tasks keeping the set
+    schedulable — equivalently, the factor by which the processor could be
+    slowed down (the DVS headroom of the whole design).
+
+    For the exact RMS test this equals ``1 / L`` (the Lehoczky load is
+    positively homogeneous in the demands), which the implementation uses
+    directly.
+    """
+    if method == "workload-curves":
+        load = rms_test_curves(task_set).load
+    elif method == "classic":
+        load = rms_test_classic(task_set).load
+    else:
+        raise ValidationError(f"unknown method {method!r}")
+    return 1.0 / load

@@ -1,0 +1,173 @@
+"""Periodic task model for schedulability analysis (paper §3.1).
+
+A :class:`PeriodicTask` carries the classical parameters (period, WCET,
+deadline) plus, optionally, a :class:`~repro.core.workload.WorkloadCurve`
+pair describing the variability of its execution demand across consecutive
+activations.  A :class:`TaskSet` orders tasks rate-monotonically and
+provides the aggregate quantities the tests need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError, check_non_negative, check_positive
+
+__all__ = ["PeriodicTask", "TaskSet"]
+
+
+@dataclass(frozen=True)
+class PeriodicTask:
+    """A periodic task.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports.
+    period:
+        Activation period ``T_i`` (also the relative deadline, as in
+        Lehoczky's formulation used by the paper).
+    wcet:
+        Worst-case execution time ``C_i`` of a single activation.
+    curves:
+        Optional workload-curve pair.  When present, ``γ^u(1)`` must not
+        exceed *wcet* (the single-activation bound can only be tighter) and
+        the upper curve is used by the improved tests of eq. (4).
+    deadline:
+        Relative deadline; defaults to the period.  Must satisfy
+        ``0 < deadline <= period`` for the RMS tests here.
+    offset:
+        Release offset of the first job (phased task sets).  The analytic
+        tests ignore offsets — the synchronous release (critical instant)
+        they assume dominates every phasing — but the simulator honours
+        them, so phased schedules can be compared against the bounds.
+    """
+
+    name: str
+    period: float
+    wcet: float
+    curves: WorkloadCurvePair | None = None
+    deadline: float | None = None
+    offset: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("task name must be a non-empty string")
+        check_positive(self.period, "period")
+        check_positive(self.wcet, "wcet")
+        if self.deadline is None:
+            object.__setattr__(self, "deadline", float(self.period))
+        else:
+            check_positive(self.deadline, "deadline")
+            if self.deadline > self.period + 1e-12:
+                raise ValidationError(
+                    "deadline must not exceed the period (constrained-deadline "
+                    "model required by the Lehoczky test)"
+                )
+        if self.wcet > self.deadline:
+            raise ValidationError("wcet must not exceed the deadline")
+        check_non_negative(self.offset, "offset")
+        if self.curves is not None:
+            if not isinstance(self.curves, WorkloadCurvePair):
+                raise ValidationError("curves must be a WorkloadCurvePair")
+            if self.curves.wcet > self.wcet + 1e-9:
+                raise ValidationError(
+                    f"workload curve gamma_u(1)={self.curves.wcet:g} exceeds "
+                    f"declared wcet={self.wcet:g}"
+                )
+
+    @property
+    def utilization(self) -> float:
+        """Classical utilization ``C_i / T_i``."""
+        return self.wcet / self.period
+
+    @property
+    def long_run_utilization(self) -> float:
+        """Utilization using the workload curve's long-run rate (average
+        demand per activation over the curve horizon) instead of WCET; equals
+        :attr:`utilization` when no curves are attached."""
+        if self.curves is None:
+            return self.utilization
+        return self.curves.upper.long_run_rate / self.period
+
+    def demand_upper(self, activations: int) -> float:
+        """Worst-case demand of *activations* consecutive jobs: ``γ^u(k)``
+        when curves are attached, else ``k·C_i``."""
+        if activations < 0:
+            raise ValidationError("activations must be >= 0")
+        if activations == 0:
+            return 0.0
+        if self.curves is not None:
+            return float(self.curves.upper(activations))
+        return activations * self.wcet
+
+
+class TaskSet:
+    """A set of periodic tasks ordered rate-monotonically.
+
+    Tasks are sorted by increasing period (ties broken by declared order);
+    index 0 is the highest priority, matching the paper's labelling
+    ``T_1 <= T_2 <= ... <= T_n``.
+    """
+
+    def __init__(self, tasks: Iterable[PeriodicTask]):
+        tasks = list(tasks)
+        if not tasks:
+            raise ValidationError("task set must contain at least one task")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise ValidationError("task names must be unique")
+        order = sorted(range(len(tasks)), key=lambda i: (tasks[i].period, i))
+        self._tasks = tuple(tasks[i] for i in order)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[PeriodicTask]:
+        return iter(self._tasks)
+
+    def __getitem__(self, index: int) -> PeriodicTask:
+        return self._tasks[index]
+
+    @property
+    def tasks(self) -> tuple[PeriodicTask, ...]:
+        """Tasks in rate-monotonic priority order."""
+        return self._tasks
+
+    @property
+    def total_utilization(self) -> float:
+        """Sum of classical (WCET-based) utilizations."""
+        return sum(t.utilization for t in self._tasks)
+
+    @property
+    def total_long_run_utilization(self) -> float:
+        """Sum of long-run (workload-curve averaged) utilizations."""
+        return sum(t.long_run_utilization for t in self._tasks)
+
+    def hyperperiod(self) -> float:
+        """Least common multiple of the periods (exact for rational periods
+        representable as multiples of 1e-9)."""
+        scale = 10**9
+        result = 1
+        for t in self._tasks:
+            p = round(t.period * scale)
+            if abs(p - t.period * scale) > 1e-3:
+                raise ValidationError(
+                    f"period {t.period!r} is not representable for an exact "
+                    "hyperperiod; round your periods"
+                )
+            result = result * p // math.gcd(result, p)
+        return result / scale
+
+    def by_name(self, name: str) -> PeriodicTask:
+        """Look up a task by its name."""
+        for t in self._tasks:
+            if t.name == name:
+                return t
+        raise KeyError(f"no task named {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TaskSet({', '.join(t.name for t in self._tasks)})"

@@ -1,0 +1,20 @@
+"""Transaction-level simulation substrate (paper Figures 5 and 7).
+
+A small discrete-event kernel plus FIFO and processing-element models, and
+the two-PE pipeline testbed in both event-driven and closed-form-replay
+form (cross-validated against each other).
+"""
+
+from repro.simulation.kernel import Simulator
+from repro.simulation.fifo import Fifo
+from repro.simulation.pe import ProcessingElement
+from repro.simulation.pipeline import PipelineResult, simulate_pipeline, replay_pipeline
+
+__all__ = [
+    "Simulator",
+    "Fifo",
+    "ProcessingElement",
+    "PipelineResult",
+    "simulate_pipeline",
+    "replay_pipeline",
+]

@@ -1,0 +1,45 @@
+"""Shared utilities: argument validation, staircase sequences, text reports.
+
+These helpers are deliberately dependency-light (numpy only) and are used by
+every other subpackage.  Nothing in here is specific to the paper; it is the
+plumbing that keeps the domain code readable.
+"""
+
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_integer,
+    check_monotone,
+    check_array_1d,
+    ValidationError,
+)
+from repro.util.staircase import (
+    cumulative_envelope_max,
+    cumulative_envelope_min,
+    sliding_window_max_sum,
+    sliding_window_min_sum,
+    is_non_decreasing,
+    is_strictly_increasing,
+    make_k_grid,
+)
+from repro.util.report import TextTable, ascii_bar_chart, ascii_xy_plot, format_quantity
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_integer",
+    "check_monotone",
+    "check_array_1d",
+    "ValidationError",
+    "cumulative_envelope_max",
+    "cumulative_envelope_min",
+    "sliding_window_max_sum",
+    "sliding_window_min_sum",
+    "is_non_decreasing",
+    "is_strictly_increasing",
+    "make_k_grid",
+    "TextTable",
+    "ascii_bar_chart",
+    "ascii_xy_plot",
+    "format_quantity",
+]

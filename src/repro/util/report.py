@@ -1,0 +1,161 @@
+"""Plain-text rendering of tables and simple charts.
+
+The experiment harnesses (one per paper figure/table) print their results
+through these helpers so benchmark output is human-comparable against the
+paper without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.validation import ValidationError
+
+__all__ = ["TextTable", "ascii_bar_chart", "ascii_xy_plot", "format_quantity"]
+
+_SI_PREFIXES = [(1e9, "G"), (1e6, "M"), (1e3, "k")]
+
+
+def format_quantity(value: float, unit: str = "", *, digits: int = 3) -> str:
+    """Format *value* with an SI prefix, e.g. ``format_quantity(3.4e8, 'Hz')
+    == '340 MHz'``."""
+    if value != value:  # NaN
+        return "nan"
+    sign = "-" if value < 0 else ""
+    mag = abs(value)
+    for scale, prefix in _SI_PREFIXES:
+        if mag >= scale:
+            return f"{sign}{_sig(mag / scale, digits)} {prefix}{unit}".rstrip()
+    return f"{sign}{_sig(mag, digits)} {unit}".rstrip()
+
+
+def _sig(x: float, digits: int) -> str:
+    if x == 0:
+        return "0"
+    text = f"{x:.{digits}g}"
+    return text
+
+
+class TextTable:
+    """Fixed-width text table with a header row.
+
+    >>> t = TextTable(["clip", "backlog"])
+    >>> t.add_row(["1", "0.83"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], *, title: str | None = None):
+        if not headers:
+            raise ValidationError("headers must be non-empty")
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Sequence[object]) -> None:
+        """Append a row; cells are str()-ified. Must match header width."""
+        row = [_cell(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValidationError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """Render the table as a string with aligned columns."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        sep = "-+-".join("-" * w for w in widths)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    max_value: float | None = None,
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart, one row per (label, value).
+
+    *max_value* fixes the scale (useful to show values normalized against a
+    bound, e.g. backlog/buffer-size against 1.0); defaults to the data max.
+    """
+    if len(labels) != len(values):
+        raise ValidationError("labels and values must have equal length")
+    if not labels:
+        raise ValidationError("chart needs at least one row")
+    scale = max_value if max_value is not None else max(values)
+    if scale <= 0:
+        scale = 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    lines = [title] if title else []
+    for lab, val in zip(labels, values):
+        filled = int(round(min(max(val, 0.0), scale) / scale * width))
+        bar = "#" * filled + "." * (width - filled)
+        lines.append(f"{str(lab).rjust(label_w)} |{bar}| {val:.3f}")
+    return "\n".join(lines)
+
+
+def ascii_xy_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    *,
+    width: int = 70,
+    height: int = 20,
+    title: str | None = None,
+) -> str:
+    """Scatter multiple y-series against common x on a character grid.
+
+    Each series is drawn with its own glyph (first letter of the name, or a
+    cycling symbol).  Meant for eyeballing curve shapes (e.g. Figure 2/6) in
+    benchmark logs, not for precision.
+    """
+    xs = list(x)
+    if not xs:
+        raise ValidationError("x must be non-empty")
+    if not series:
+        raise ValidationError("series must be non-empty")
+    for name, ys in series.items():
+        if len(ys) != len(xs):
+            raise ValidationError(f"series {name!r} length mismatch with x")
+    x_lo, x_hi = min(xs), max(xs)
+    all_y = [v for ys in series.values() for v in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "uloxw*+#@%"
+    legend = []
+    for idx, (name, ys) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        legend.append(f"{glyph}={name}")
+        for xv, yv in zip(xs, ys):
+            col = int((xv - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = height - 1 - int((yv - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[row][col] = glyph
+    lines = [title] if title else []
+    lines.append(f"y: [{y_lo:.4g}, {y_hi:.4g}]   " + "  ".join(legend))
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(f"x: [{x_lo:.4g}, {x_hi:.4g}]")
+    return "\n".join(lines)

@@ -1,0 +1,135 @@
+"""Integer-domain staircase and sliding-window helpers.
+
+Workload curves (paper, Definition 1) are sequences indexed by the number of
+consecutive task activations ``k``.  Extracting them from a trace requires,
+for every window length ``k``, the maximum (or minimum) sum of per-event
+demands over all length-``k`` windows.  The helpers here implement that with
+cumulative sums so each window length costs O(n) vectorized work.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.util.validation import ValidationError, check_integer
+
+__all__ = [
+    "sliding_window_max_sum",
+    "sliding_window_min_sum",
+    "cumulative_envelope_max",
+    "cumulative_envelope_min",
+    "is_non_decreasing",
+    "is_strictly_increasing",
+    "make_k_grid",
+]
+
+
+def sliding_window_max_sum(values: Sequence[float], k: int) -> float:
+    """Maximum sum over all contiguous windows of length *k* in *values*.
+
+    Implements ``max_j sum(values[j:j+k])`` — the inner maximization of the
+    paper's upper workload curve (eq. (1)) for a single ``k``.
+
+    Raises
+    ------
+    ValidationError
+        If ``k < 1`` or ``k`` exceeds the trace length.
+    """
+    arr = np.asarray(values, dtype=float)
+    k = check_integer(k, "k", minimum=1)
+    if k > arr.size:
+        raise ValidationError(f"window length k={k} exceeds trace length {arr.size}")
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    return float(np.max(csum[k:] - csum[:-k]))
+
+
+def sliding_window_min_sum(values: Sequence[float], k: int) -> float:
+    """Minimum sum over all contiguous windows of length *k* in *values*.
+
+    Implements ``min_j sum(values[j:j+k])`` — the inner minimization of the
+    paper's lower workload curve (eq. (2)) for a single ``k``.
+    """
+    arr = np.asarray(values, dtype=float)
+    k = check_integer(k, "k", minimum=1)
+    if k > arr.size:
+        raise ValidationError(f"window length k={k} exceeds trace length {arr.size}")
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    return float(np.min(csum[k:] - csum[:-k]))
+
+
+def cumulative_envelope_max(values: Sequence[float], k_values: Sequence[int]) -> np.ndarray:
+    """Vector of :func:`sliding_window_max_sum` evaluated at each ``k``.
+
+    ``k_values`` must be sorted, positive, and bounded by ``len(values)``.
+    Returns a float array of the same length as ``k_values``.
+    """
+    arr = np.asarray(values, dtype=float)
+    ks = _check_k_values(k_values, arr.size)
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    return np.array([np.max(csum[k:] - csum[:-k]) for k in ks], dtype=float)
+
+
+def cumulative_envelope_min(values: Sequence[float], k_values: Sequence[int]) -> np.ndarray:
+    """Vector of :func:`sliding_window_min_sum` evaluated at each ``k``."""
+    arr = np.asarray(values, dtype=float)
+    ks = _check_k_values(k_values, arr.size)
+    csum = np.concatenate(([0.0], np.cumsum(arr)))
+    return np.array([np.min(csum[k:] - csum[:-k]) for k in ks], dtype=float)
+
+
+def is_non_decreasing(values: Iterable[float]) -> bool:
+    """True if the sequence never decreases."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    return bool(arr.size < 2 or np.all(np.diff(arr) >= 0))
+
+
+def is_strictly_increasing(values: Iterable[float]) -> bool:
+    """True if each element is strictly greater than its predecessor."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    return bool(arr.size < 2 or np.all(np.diff(arr) > 0))
+
+
+def make_k_grid(n: int, *, dense_limit: int = 2048, growth: float = 1.05) -> np.ndarray:
+    """Window lengths ``1..n``, dense up to *dense_limit* then geometric.
+
+    Extracting a workload curve at every ``k`` of a long trace is O(n^2); for
+    traces beyond *dense_limit* events we evaluate every ``k`` up to the
+    limit, then sample geometrically (ratio *growth*) and always include
+    ``n`` itself.  Interpolating between sampled points stays conservative
+    for the upper curve because the true curve is concave-ish in practice and
+    we interpolate linearly between exact values (callers that need hard
+    guarantees between grid points should use the affine-tail extension of
+    :class:`repro.core.workload.WorkloadCurve`, which is conservative by
+    construction).
+    """
+    n = check_integer(n, "n", minimum=1)
+    dense_limit = check_integer(dense_limit, "dense_limit", minimum=1)
+    if growth <= 1.0:
+        raise ValidationError(f"growth must be > 1, got {growth!r}")
+    if n <= dense_limit:
+        return np.arange(1, n + 1, dtype=np.int64)
+    ks = list(range(1, dense_limit + 1))
+    k = float(dense_limit)
+    while True:
+        k *= growth
+        ki = int(np.ceil(k))
+        if ki >= n:
+            break
+        ks.append(ki)
+    ks.append(n)
+    return np.array(sorted(set(ks)), dtype=np.int64)
+
+
+def _check_k_values(k_values: Sequence[int], n: int) -> np.ndarray:
+    ks = np.asarray(k_values, dtype=np.int64)
+    if ks.ndim != 1 or ks.size == 0:
+        raise ValidationError("k_values must be a non-empty 1-D sequence")
+    if np.any(ks < 1):
+        raise ValidationError("k_values must be >= 1")
+    if np.any(ks > n):
+        raise ValidationError(f"k_values must not exceed trace length {n}")
+    if np.any(np.diff(ks) <= 0):
+        raise ValidationError("k_values must be strictly increasing")
+    return ks

@@ -1,0 +1,122 @@
+"""Argument validation helpers.
+
+All public constructors in :mod:`repro` validate their inputs eagerly and
+raise :class:`ValidationError` (a subclass of ``ValueError``) with a message
+naming the offending argument.  Centralizing the checks keeps the domain code
+free of repetitive ``if``/``raise`` boilerplate and guarantees consistent
+error wording, which the test-suite relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "check_positive",
+    "check_non_negative",
+    "check_integer",
+    "check_monotone",
+    "check_array_1d",
+    "check_in_range",
+    "check_probability",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public API receives an invalid argument."""
+
+
+def check_positive(value: float, name: str) -> float:
+    """Return *value* if it is a finite number strictly greater than zero.
+
+    Raises
+    ------
+    ValidationError
+        If *value* is not a real number, is not finite, or is ``<= 0``.
+    """
+    value = _as_real(value, name)
+    if not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Return *value* if it is a finite number greater than or equal to zero."""
+    value = _as_real(value, name)
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_integer(value: int, name: str, *, minimum: int | None = None) -> int:
+    """Return *value* coerced to ``int`` if it is integral.
+
+    Floats are accepted only when they carry an exact integer value
+    (``3.0`` is fine, ``3.5`` is not).  If *minimum* is given the value must
+    be at least that large.
+    """
+    if isinstance(value, bool):
+        raise ValidationError(f"{name} must be an integer, got bool {value!r}")
+    if isinstance(value, (int, np.integer)):
+        result = int(value)
+    elif isinstance(value, (float, np.floating)):
+        if not math.isfinite(value) or value != int(value):
+            raise ValidationError(f"{name} must be an integer, got {value!r}")
+        result = int(value)
+    else:
+        raise ValidationError(f"{name} must be an integer, got {type(value).__name__}")
+    if minimum is not None and result < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {result}")
+    return result
+
+
+def check_monotone(values: Sequence[float], name: str, *, strict: bool = False) -> np.ndarray:
+    """Return *values* as a 1-D float array, verifying it is non-decreasing.
+
+    With ``strict=True`` the sequence must be strictly increasing.
+    """
+    arr = check_array_1d(values, name)
+    if arr.size >= 2:
+        diffs = np.diff(arr)
+        if strict:
+            if not np.all(diffs > 0):
+                raise ValidationError(f"{name} must be strictly increasing")
+        elif not np.all(diffs >= 0):
+            raise ValidationError(f"{name} must be non-decreasing")
+    return arr
+
+
+def check_array_1d(values: Iterable[float], name: str) -> np.ndarray:
+    """Return *values* as a 1-D ``float64`` array of finite entries."""
+    arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr
+
+
+def check_in_range(value: float, name: str, low: float, high: float) -> float:
+    """Return *value* if ``low <= value <= high``."""
+    value = _as_real(value, name)
+    if not (low <= value <= high):
+        raise ValidationError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Return *value* if it is a valid probability in ``[0, 1]``."""
+    return check_in_range(value, name, 0.0, 1.0)
+
+
+def _as_real(value: float, name: str) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float, np.integer, np.floating)):
+        raise ValidationError(f"{name} must be a real number, got {type(value).__name__}")
+    value = float(value)
+    if not math.isfinite(value):
+        raise ValidationError(f"{name} must be finite, got {value!r}")
+    return value

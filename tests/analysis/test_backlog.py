@@ -1,0 +1,75 @@
+"""Unit tests for backlog bounds (paper eqs. (6)/(7))."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.backlog import (
+    backlog_bound_cycles_curves,
+    backlog_bound_cycles_wcet,
+    backlog_bound_events,
+)
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper, leaky_bucket, periodic_upper
+from repro.curves.minplus import UnboundedCurveError
+from repro.curves.service import full_processor, rate_latency
+from repro.simulation.pipeline import replay_pipeline
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def gamma():
+    return WorkloadCurve.from_demand_array([5.0, 3.0, 2.0, 6.0] * 8, "upper")
+
+
+class TestCycleBounds:
+    def test_wcet_scaling_closed_form(self):
+        # alpha events = leaky bucket, w = 2: cycles alpha = 2b + 2r·Δ
+        alpha = leaky_bucket(3.0, 1.0)
+        beta = rate_latency(4.0, 1.0)
+        bound = backlog_bound_cycles_wcet(alpha, 2.0, beta)
+        assert bound == pytest.approx(2 * 3 + 2 * 1 * 1)
+
+    def test_curve_conversion_tighter(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        beta = full_processor(10.0)
+        tight = backlog_bound_cycles_curves(alpha, gamma, beta)
+        loose = backlog_bound_cycles_wcet(alpha, gamma.per_activation_bound, beta)
+        assert tight <= loose + 1e-9
+
+
+class TestEventBound:
+    def test_requires_upper(self):
+        lower = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        with pytest.raises(ValidationError):
+            backlog_bound_events(periodic_upper(1.0), full_processor(5.0), lower)
+
+    def test_unstable_raises(self, gamma):
+        alpha = periodic_upper(0.1, horizon_periods=16)  # 10 events/s
+        beta = full_processor(10.0)  # << 10 * 4 cycles/s needed
+        with pytest.raises(UnboundedCurveError):
+            backlog_bound_events(alpha, beta, gamma)
+
+    def test_bounds_simulation(self, gamma):
+        """The eq. (7) bound must dominate the simulated backlog of any
+        admissible scenario, here: periodic arrivals with the trace demands
+        replayed in their worst rotation."""
+        rng = np.random.default_rng(9)
+        demands_src = np.array([5.0, 3.0, 2.0, 6.0] * 8)
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        freq = 6.0
+        beta = full_processor(freq)
+        bound = backlog_bound_events(alpha, beta, gamma)
+        for shift in range(0, 32, 5):
+            demands = np.roll(demands_src, shift)
+            arrivals = np.arange(demands.size, dtype=float)
+            sim = replay_pipeline(arrivals, demands, freq)
+            assert sim.max_backlog <= bound + 1e-9
+
+    def test_trace_alpha_consistency(self, small_clip):
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        freq = gamma_u.long_run_rate * alpha.final_slope * 1.6
+        bound = backlog_bound_events(alpha, full_processor(freq), gamma_u)
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles, freq)
+        assert sim.max_backlog <= bound + 1e-9

@@ -1,0 +1,64 @@
+"""Unit tests for buffer sizing (the dual of the frequency problem)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.buffer_sizing import (
+    buffer_frequency_tradeoff,
+    minimum_buffer_curves,
+    minimum_buffer_wcet,
+)
+from repro.analysis.frequency import minimum_frequency_curves
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper, periodic_upper
+from repro.simulation.pipeline import replay_pipeline
+
+
+@pytest.fixture
+def gamma():
+    return WorkloadCurve.from_demand_array([5.0, 3.0, 2.0, 6.0] * 16, "upper")
+
+
+class TestMinimumBuffer:
+    def test_curves_below_wcet(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        freq = 4.5
+        b_curves = minimum_buffer_curves(alpha, gamma, freq)
+        b_wcet = minimum_buffer_wcet(alpha, gamma.per_activation_bound, freq * 2.3)
+        assert b_curves.items >= 0
+        assert b_curves.method == "workload-curves"
+        assert b_wcet.method == "wcet"
+
+    def test_monotone_in_frequency(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        sizes = [
+            minimum_buffer_curves(alpha, gamma, f).items for f in (4.2, 5.0, 6.0, 8.0)
+        ]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_tradeoff_pairs(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        pairs = buffer_frequency_tradeoff(alpha, gamma, [4.2, 6.0])
+        assert len(pairs) == 2
+        assert pairs[0][1] >= pairs[1][1]
+
+    def test_duality_with_frequency_bound(self, small_clip):
+        """Sizing the buffer at F, then solving for the minimum frequency at
+        that buffer, must return at most F (the two problems are duals)."""
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        freq = gamma_u.long_run_rate * alpha.final_slope * 1.3
+        b = minimum_buffer_curves(alpha, gamma_u, freq)
+        f_back = minimum_frequency_curves(alpha, gamma_u, max(b.items, 1))
+        assert f_back.frequency <= freq * (1 + 1e-6)
+
+    def test_simulation_never_overflows_sized_buffer(self, small_clip):
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        freq = gamma_u.long_run_rate * alpha.final_slope * 1.3
+        b = minimum_buffer_curves(alpha, gamma_u, freq)
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles, freq,
+                              capacity=max(b.items, 1))
+        assert not sim.overflowed

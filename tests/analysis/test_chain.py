@@ -1,0 +1,125 @@
+"""Tests for the multi-node streaming-chain analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.chain import ChainReport, ProcessingNode, StreamingChain
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import periodic_upper
+from repro.curves.service import full_processor, rate_latency
+from repro.simulation.pipeline import replay_pipeline
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def gammas():
+    g1 = WorkloadCurve.from_demand_array([4.0, 2.0] * 32, "upper")
+    g2 = WorkloadCurve.from_demand_array([6.0, 1.0] * 32, "upper")
+    return g1, g2
+
+
+@pytest.fixture
+def chain(gammas):
+    g1, g2 = gammas
+    return StreamingChain(
+        [
+            ProcessingNode("PE1", full_processor(5.0), g1),
+            ProcessingNode("PE2", full_processor(6.0), g2),
+        ]
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            StreamingChain([])
+
+    def test_duplicate_names_rejected(self, gammas):
+        g1, _ = gammas
+        node = ProcessingNode("PE", full_processor(5.0), g1)
+        with pytest.raises(ValidationError, match="unique"):
+            StreamingChain([node, node])
+
+    def test_node_validation(self, gammas):
+        g1, _ = gammas
+        lower = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        with pytest.raises(ValidationError):
+            ProcessingNode("x", full_processor(1.0), lower)
+
+
+class TestAnalysis:
+    def test_per_node_reports(self, chain):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        report = chain.analyze(alpha)
+        assert [n.name for n in report.nodes] == ["PE1", "PE2"]
+        for node in report.nodes:
+            assert node.backlog_events >= 0
+            assert node.delay >= 0
+            assert 0 < node.utilization < 1
+
+    def test_unstable_node_detected(self, gammas):
+        g1, _ = gammas
+        slow = StreamingChain([ProcessingNode("PE1", full_processor(1.0), g1)])
+        with pytest.raises(ValidationError, match="unstable"):
+            slow.analyze(periodic_upper(1.0, horizon_periods=32))
+
+    def test_output_curve_rate_preserved(self, chain):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        report = chain.analyze(alpha)
+        # the long-run event rate is conserved through a stable node
+        assert report.nodes[0].output_curve.final_slope == pytest.approx(
+            alpha.final_slope, rel=0.05
+        )
+
+    def test_output_burstier_than_input(self, chain):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        report = chain.analyze(alpha)
+        out = report.nodes[0].output_curve
+        ds = np.linspace(0, 10, 21)
+        # queuing can only increase short-window counts
+        assert np.all(out(ds) >= alpha(ds) - 1.0 - 1e-9)
+
+    def test_report_lookup(self, chain):
+        report = chain.analyze(periodic_upper(1.0, horizon_periods=64))
+        assert report.node("PE2").name == "PE2"
+        with pytest.raises(KeyError):
+            report.node("PE9")
+
+    def test_aggregates(self, chain):
+        report = chain.analyze(periodic_upper(1.0, horizon_periods=64))
+        assert report.sum_of_delays == pytest.approx(
+            sum(n.delay for n in report.nodes)
+        )
+        assert report.total_buffer_events == pytest.approx(
+            sum(n.backlog_events for n in report.nodes)
+        )
+
+
+class TestEndToEnd:
+    def test_pay_bursts_only_once(self, chain):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        report = chain.analyze(alpha)
+        e2e = chain.end_to_end_delay(alpha)
+        assert e2e <= report.sum_of_delays + 1e-9
+
+    def test_single_node_chain_matches_direct(self, gammas):
+        g1, _ = gammas
+        beta = rate_latency(5.0, 0.5)
+        single = StreamingChain([ProcessingNode("PE", beta, g1)])
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        e2e = single.end_to_end_delay(alpha)
+        assert e2e == pytest.approx(single.analyze(alpha).nodes[0].delay, rel=1e-6)
+
+
+class TestAgainstSimulation:
+    def test_first_node_backlog_dominates_simulation(self, gammas):
+        """Simulate the first node with periodic arrivals and alternating
+        demands; the chain's backlog bound must dominate."""
+        g1, _ = gammas
+        chain = StreamingChain([ProcessingNode("PE1", full_processor(5.0), g1)])
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        report = chain.analyze(alpha)
+        arrivals = np.arange(64, dtype=float)
+        demands = np.array([4.0, 2.0] * 32)
+        sim = replay_pipeline(arrivals, demands, 5.0)
+        assert sim.max_backlog <= report.nodes[0].backlog_events + 1e-9

@@ -1,0 +1,81 @@
+"""Unit tests for event/cycle conversion (paper Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.conversion import (
+    arrival_events_to_cycles,
+    scale_arrival_by_wcet,
+    service_cycles_to_events,
+)
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper, periodic_upper
+from repro.curves.service import full_processor
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def gamma():
+    # alternating heavy/light demands: gamma_u = [5, 8, 13, 16, ...]
+    return WorkloadCurve.from_demand_array([5.0, 3.0] * 10, "upper")
+
+
+class TestEventsToCycles:
+    def test_composition_values(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=16)
+        cycles = arrival_events_to_cycles(alpha, gamma)
+        # at delta just inside the horizon: gamma_u(alpha(d))
+        for d in [0.0, 0.5, 1.0, 3.7]:
+            n = int(np.ceil(alpha(d) - 1e-9))
+            assert cycles(d) == pytest.approx(float(gamma(n)))
+
+    def test_tighter_than_wcet_scaling(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=16)
+        cycles = arrival_events_to_cycles(alpha, gamma)
+        wcet = scale_arrival_by_wcet(alpha, gamma.per_activation_bound)
+        ds = np.linspace(0, 10, 21)
+        assert np.all(cycles(ds) <= wcet(ds) + 1e-9)
+
+    def test_requires_upper_curve(self):
+        lower = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        with pytest.raises(ValidationError):
+            arrival_events_to_cycles(periodic_upper(1.0), lower)
+
+
+class TestCyclesToEvents:
+    def test_pseudo_inverse_composition(self, gamma):
+        beta = full_processor(10.0)
+        deltas = np.array([0.0, 0.5, 1.0, 2.0, 5.0])
+        events = service_cycles_to_events(beta, gamma, deltas)
+        for d, n in zip(deltas, events):
+            assert gamma(int(n)) <= 10.0 * d + 1e-9
+            assert gamma(int(n) + 1) > 10.0 * d - 1e-9
+
+    def test_conservative_direction(self, gamma):
+        # the guaranteed event count never overestimates: processing the
+        # claimed events costs at most the provided cycles
+        beta = full_processor(7.0)
+        deltas = np.linspace(0, 20, 41)
+        events = service_cycles_to_events(beta, gamma, deltas)
+        assert np.all(gamma(events.astype(int)) <= beta(deltas) + 1e-9)
+
+
+class TestWcetScaling:
+    def test_linear(self):
+        alpha = periodic_upper(2.0)
+        scaled = scale_arrival_by_wcet(alpha, 10.0)
+        ds = np.linspace(0, 10, 21)
+        assert np.allclose(scaled(ds), 10.0 * alpha(ds))
+
+    def test_positive_wcet_required(self):
+        with pytest.raises(ValidationError):
+            scale_arrival_by_wcet(periodic_upper(1.0), 0.0)
+
+
+class TestRoundTrip:
+    def test_galois_roundtrip_on_trace_curves(self):
+        rng = np.random.default_rng(3)
+        demands = rng.uniform(1.0, 9.0, 200)
+        gamma = WorkloadCurve.from_demand_array(demands, "upper")
+        ks = np.arange(1, 150, 7)
+        assert np.all(gamma.pseudo_inverse(gamma(ks)) == ks)

@@ -1,0 +1,47 @@
+"""Unit tests for event delay bounds."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.delay import delay_bound_curves, delay_bound_wcet
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper, periodic_upper
+from repro.curves.service import full_processor
+from repro.simulation.pipeline import replay_pipeline
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def gamma():
+    return WorkloadCurve.from_demand_array([5.0, 3.0, 2.0, 6.0] * 16, "upper")
+
+
+class TestDelayBounds:
+    def test_curves_below_wcet(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        beta = full_processor(9.0)
+        tight = delay_bound_curves(alpha, gamma, beta)
+        loose = delay_bound_wcet(alpha, gamma.per_activation_bound, beta)
+        assert tight <= loose + 1e-9
+
+    def test_requires_upper(self):
+        lower = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        with pytest.raises(ValidationError):
+            delay_bound_curves(periodic_upper(1.0), lower, full_processor(5.0))
+
+    def test_bounds_simulated_sojourn(self, small_clip):
+        """Every macroblock's simulated sojourn time (arrival → completion)
+        must respect the analytic delay bound."""
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        freq = gamma_u.long_run_rate * alpha.final_slope * 1.5
+        bound = delay_bound_curves(alpha, gamma_u, full_processor(freq))
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles, freq)
+        sojourn = sim.completion_times - data.pe1_output
+        assert sojourn.max() <= bound + 1e-9
+
+    def test_wcet_delay_positive_for_loaded_node(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        beta = full_processor(6.5)
+        assert delay_bound_wcet(alpha, gamma.per_activation_bound, beta) > 0

@@ -1,0 +1,53 @@
+"""Unit tests for the DVS/power analysis."""
+
+import pytest
+
+from repro.analysis.energy import PowerModel, dvs_savings
+from repro.analysis.frequency import FrequencyBound
+from repro.util.validation import ValidationError
+
+
+class TestPowerModel:
+    def test_cubic_default(self):
+        m = PowerModel()
+        assert m.power(2.0) == pytest.approx(8.0)
+
+    def test_linear(self):
+        m = PowerModel(exponent=1.0)
+        assert m.power(2.0) == pytest.approx(2.0)
+
+    def test_exponent_range(self):
+        with pytest.raises(ValidationError):
+            PowerModel(exponent=0.5)
+
+    def test_coefficient(self):
+        m = PowerModel(exponent=2.0, coefficient=3.0)
+        assert m.power(2.0) == pytest.approx(12.0)
+
+
+class TestDvsSavings:
+    def test_paper_scale(self):
+        s = dvs_savings(340e6, 710e6)
+        assert s.frequency_saving == pytest.approx(1 - 340 / 710)
+        assert s.power_saving == pytest.approx(1 - (340 / 710) ** 3)
+        assert s.power_saving > 0.85
+
+    def test_accepts_frequency_bounds(self):
+        s = dvs_savings(
+            FrequencyBound(100e6, 1.0, "workload-curves"),
+            FrequencyBound(200e6, 1.0, "wcet"),
+        )
+        assert s.frequency_saving == pytest.approx(0.5)
+        assert s.power_saving == pytest.approx(1 - 0.125)
+
+    def test_linear_model_matches_frequency_saving(self):
+        s = dvs_savings(100.0, 200.0, model=PowerModel(exponent=1.0))
+        assert s.power_saving == pytest.approx(s.frequency_saving)
+
+    def test_order_enforced(self):
+        with pytest.raises(ValidationError):
+            dvs_savings(200.0, 100.0)
+
+    def test_equal_bounds_zero_saving(self):
+        s = dvs_savings(100.0, 100.0)
+        assert s.power_saving == pytest.approx(0.0)

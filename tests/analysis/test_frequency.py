@@ -1,0 +1,99 @@
+"""Unit tests for the minimum-frequency bounds (paper eqs. (8)-(10))."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.frequency import (
+    FrequencyBound,
+    minimum_frequency_curves,
+    minimum_frequency_wcet,
+    verify_service_constraint,
+)
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper, periodic_upper
+from repro.simulation.pipeline import replay_pipeline
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def gamma():
+    return WorkloadCurve.from_demand_array([5.0, 3.0, 2.0, 6.0] * 16, "upper")
+
+
+class TestClosedForm:
+    def test_wcet_bound_periodic(self):
+        """Periodic arrivals (1/s), buffer b: eq. (10) reduces to
+        w·max_n (n − b)/d_n where d_n = n-th step position."""
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        bound = minimum_frequency_wcet(alpha, wcet=10.0, buffer_size=2)
+        # step n at delta = n−1: max over n of 10(n−2)/(n−1) -> sup = 10
+        # attained asymptotically; at finite horizon slightly below
+        assert 9.0 < bound.frequency <= 10.0 + 1e-9
+
+    def test_curve_bound_below_wcet_bound(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        fg = minimum_frequency_curves(alpha, gamma, 4)
+        fw = minimum_frequency_wcet(alpha, gamma.per_activation_bound, 4)
+        assert fg.frequency <= fw.frequency + 1e-9
+        assert fg.savings_over(fw) >= 0.0
+
+    def test_huge_buffer_absorbs_everything(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=16)
+        fg = minimum_frequency_curves(alpha, gamma, 10_000)
+        assert fg.frequency == 0.0
+
+    def test_requires_upper(self):
+        lower = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        with pytest.raises(ValidationError):
+            minimum_frequency_curves(periodic_upper(1.0), lower, 1)
+
+    def test_buffer_validated(self, gamma):
+        with pytest.raises(ValidationError):
+            minimum_frequency_curves(periodic_upper(1.0), gamma, 0)
+
+
+class TestServiceConstraint:
+    def test_holds_at_bound(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        fg = minimum_frequency_curves(alpha, gamma, 4)
+        assert verify_service_constraint(alpha, gamma, 4, fg.frequency * 1.001)
+
+    def test_fails_below_bound(self, gamma):
+        alpha = periodic_upper(1.0, horizon_periods=64)
+        fg = minimum_frequency_curves(alpha, gamma, 4)
+        assert not verify_service_constraint(alpha, gamma, 4, fg.frequency * 0.7)
+
+
+class TestAgainstSimulation:
+    def test_no_overflow_at_bound(self, small_clip):
+        """At F >= F_gamma_min the simulated FIFO never exceeds b (eq. (8))."""
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        b = 400
+        fg = minimum_frequency_curves(alpha, gamma_u, b)
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles, fg.frequency * 1.0001,
+                              capacity=b)
+        assert not sim.overflowed
+
+    def test_overflow_well_below_bound(self, small_clip):
+        """Far below the per-clip bound the buffer must eventually overflow
+        (the bound is not vacuous)."""
+        data = small_clip.generate()
+        b = 400
+        mean_rate = data.pe2_cycles.sum() / data.pe1_output[-1]
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles, mean_rate * 0.8,
+                              capacity=b)
+        assert sim.overflowed
+
+
+class TestFrequencyBound:
+    def test_savings(self):
+        a = FrequencyBound(100.0, 1.0, "x")
+        b = FrequencyBound(200.0, 1.0, "y")
+        assert a.savings_over(b) == pytest.approx(0.5)
+
+    def test_savings_zero_denominator(self):
+        a = FrequencyBound(100.0, 1.0, "x")
+        with pytest.raises(ValidationError):
+            a.savings_over(FrequencyBound(0.0, 1.0, "y"))

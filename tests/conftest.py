@@ -1,0 +1,28 @@
+"""Shared fixtures.
+
+The MPEG-2 case-study context is expensive to build; tests share one small
+instance (12 frames per clip) built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import case_study_context
+
+
+@pytest.fixture(scope="session")
+def small_context():
+    """A reduced case-study context: 14 clips x 12 frames (one GOP)."""
+    return case_study_context(frames=12, dense_limit=512, growth=1.05)
+
+
+@pytest.fixture(scope="session")
+def small_clip():
+    """One short busy clip, generated once."""
+    from repro.mpeg.bitstream import SyntheticClip
+    from repro.mpeg.clips import CLIP_PROFILES
+
+    clip = SyntheticClip(CLIP_PROFILES[9], frames=6)  # football
+    clip.generate()
+    return clip

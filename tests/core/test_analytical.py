@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.analytical (paper Example 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import (
+    PollingTask,
+    periodic_event_count_bounds,
+    polling_task_curves,
+    two_mode_curves,
+)
+from repro.core.validation import audit_pair
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def fig2_task():
+    # theta_min = 3T, theta_max = 5T as in Figure 2
+    return PollingTask(period=1.0, theta_min=3.0, theta_max=5.0, e_p=8.0, e_c=2.0)
+
+
+class TestConstruction:
+    def test_period_must_be_below_theta_min(self):
+        with pytest.raises(ValidationError, match="smaller than theta_min"):
+            PollingTask(3.0, 3.0, 5.0, 8.0, 2.0)
+
+    def test_theta_order(self):
+        with pytest.raises(ValidationError):
+            PollingTask(1.0, 5.0, 3.0, 8.0, 2.0)
+
+    def test_e_c_below_e_p(self):
+        with pytest.raises(ValidationError):
+            PollingTask(1.0, 3.0, 5.0, 2.0, 8.0)
+
+
+class TestCountBounds:
+    def test_n_max_values(self, fig2_task):
+        # n_max(k) = 1 + floor(k/3)
+        assert [fig2_task.n_max(k) for k in range(0, 8)] == [0, 1, 1, 2, 2, 2, 3, 3]
+
+    def test_n_min_values(self, fig2_task):
+        # n_min(k) = floor(k/5)
+        assert [fig2_task.n_min(k) for k in range(0, 11)] == [0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 2]
+
+    def test_n_max_capped_at_k(self):
+        task = PollingTask(0.99, 1.0, 2.0, 5.0, 1.0)
+        for k in range(1, 10):
+            assert task.n_max(k) <= k
+
+    def test_reusable_bounds_helper(self):
+        n_max, n_min = periodic_event_count_bounds(1.0, 3.0, 5.0)
+        assert n_max(3) == 2
+        assert n_min(5) == 1
+
+
+class TestCurves:
+    def test_closed_form(self, fig2_task):
+        pair = fig2_task.curves(10)
+        for k in range(1, 11):
+            nmax, nmin = fig2_task.n_max(k), fig2_task.n_min(k)
+            assert pair.upper(k) == pytest.approx(nmax * 8.0 + (k - nmax) * 2.0)
+            assert pair.lower(k) == pytest.approx(nmin * 8.0 + (k - nmin) * 2.0)
+
+    def test_wcet_is_e_p(self, fig2_task):
+        assert fig2_task.curves(8).wcet == 8.0
+
+    def test_structurally_valid(self, fig2_task):
+        assert audit_pair(fig2_task.curves(24)).ok
+
+    def test_baseline_lines(self, fig2_task):
+        ks = np.arange(1, 9)
+        assert np.allclose(fig2_task.wcet_only_curve(8)(ks), 8.0 * ks)
+        assert np.allclose(fig2_task.bcet_only_curve(8)(ks), 2.0 * ks)
+
+    def test_convenience_wrapper(self):
+        pair = polling_task_curves(1.0, 3.0, 5.0, 8.0, 2.0, k_max=6)
+        assert pair.upper(1) == 8.0
+
+
+class TestTwoMode:
+    def test_matches_polling(self, fig2_task):
+        pair = two_mode_curves(fig2_task.n_max, fig2_task.n_min, 8.0, 2.0, k_max=12)
+        ref = fig2_task.curves(12)
+        ks = np.arange(1, 13)
+        assert np.allclose(pair.upper(ks), ref.upper(ks))
+        assert np.allclose(pair.lower(ks), ref.lower(ks))
+
+    def test_rejects_inconsistent_bounds(self):
+        with pytest.raises(ValidationError, match="count bounds"):
+            two_mode_curves(lambda k: k + 1, lambda k: 0, 5.0, 1.0, k_max=4)
+
+    def test_rejects_non_monotone_bounds(self):
+        flip = {1: 1, 2: 0, 3: 1, 4: 1}
+        with pytest.raises(ValidationError, match="monotone"):
+            two_mode_curves(lambda k: flip.get(k, k), lambda k: 0, 5.0, 1.0, k_max=4)
+
+    def test_rejects_e_low_above_e_high(self):
+        with pytest.raises(ValidationError):
+            two_mode_curves(lambda k: k, lambda k: 0, 1.0, 5.0, k_max=4)

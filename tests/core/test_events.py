@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.events."""
+
+import pytest
+
+from repro.core.events import Event, ExecutionInterval, ExecutionProfile
+from repro.util.validation import ValidationError
+
+
+class TestExecutionInterval:
+    def test_basic(self):
+        iv = ExecutionInterval(2, 4)
+        assert iv.bcet == 2 and iv.wcet == 4
+        assert iv.spread == 2
+        assert iv.ratio == 2.0
+
+    def test_degenerate_interval_ok(self):
+        iv = ExecutionInterval(3, 3)
+        assert iv.spread == 0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValidationError, match="must not exceed"):
+            ExecutionInterval(4, 2)
+
+    def test_rejects_zero_bcet(self):
+        with pytest.raises(ValidationError):
+            ExecutionInterval(0, 2)
+
+    def test_contains(self):
+        iv = ExecutionInterval(2, 4)
+        assert iv.contains(2) and iv.contains(4) and iv.contains(3)
+        assert not iv.contains(1.9) and not iv.contains(4.1)
+
+    def test_scaled(self):
+        iv = ExecutionInterval(2, 4).scaled(2.0)
+        assert iv.bcet == 4 and iv.wcet == 8
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            ExecutionInterval(1, 2).scaled(0)
+
+
+class TestEvent:
+    def test_minimal(self):
+        ev = Event("a")
+        assert ev.type_name == "a"
+        assert ev.timestamp is None and ev.demand is None
+
+    def test_full(self):
+        ev = Event("b", timestamp=1.5, demand=3.0)
+        assert ev.timestamp == 1.5 and ev.demand == 3.0
+
+    def test_rejects_empty_type(self):
+        with pytest.raises(ValidationError):
+            Event("")
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValidationError):
+            Event("a", timestamp=-1.0)
+
+    def test_rejects_zero_demand(self):
+        with pytest.raises(ValidationError):
+            Event("a", demand=0.0)
+
+
+class TestExecutionProfile:
+    def test_from_tuples(self):
+        p = ExecutionProfile({"a": (2, 4), "b": (1, 3)})
+        assert p.wcet("a") == 4
+        assert p.bcet("b") == 1
+        assert p.wcet_max == 4
+        assert p.bcet_min == 1
+
+    def test_from_intervals(self):
+        p = ExecutionProfile({"a": ExecutionInterval(1, 5)})
+        assert p.interval("a").wcet == 5
+
+    def test_mapping_protocol(self):
+        p = ExecutionProfile({"a": (1, 2), "b": (2, 3)})
+        assert "a" in p and "z" not in p
+        assert len(p) == 2
+        assert set(p) == {"a", "b"}
+        assert p.type_names == ("a", "b")
+
+    def test_unknown_type_keyerror(self):
+        p = ExecutionProfile({"a": (1, 2)})
+        with pytest.raises(KeyError, match="unknown event type"):
+            p["z"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionProfile({})
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValidationError):
+            ExecutionProfile({"a": "nope"})
+
+    def test_equality(self):
+        assert ExecutionProfile({"a": (1, 2)}) == ExecutionProfile({"a": (1, 2)})
+        assert ExecutionProfile({"a": (1, 2)}) != ExecutionProfile({"a": (1, 3)})
+
+    def test_scaled(self):
+        p = ExecutionProfile({"a": (1, 2)}).scaled(3.0)
+        assert p.wcet("a") == 6 and p.bcet("a") == 3

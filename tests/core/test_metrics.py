@@ -1,0 +1,81 @@
+"""Unit tests for curve tightness metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import (
+    average_gain,
+    curve_distance,
+    gain_profile,
+    variability_ratio,
+)
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.staircase import make_k_grid
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def variable_pair():
+    return WorkloadCurvePair.from_demand_array([10.0, 2.0, 3.0, 2.0] * 8)
+
+
+@pytest.fixture
+def constant_pair():
+    return WorkloadCurvePair.from_demand_array([5.0] * 16)
+
+
+class TestGainProfile:
+    def test_zero_at_k1(self, variable_pair):
+        assert gain_profile(variable_pair)[0] == pytest.approx(0.0)
+
+    def test_positive_for_variable_demand(self, variable_pair):
+        profile = gain_profile(variable_pair)
+        assert np.all(profile[1:] > 0)
+
+    def test_zero_for_constant_demand(self, constant_pair):
+        assert np.allclose(gain_profile(constant_pair), 0.0)
+
+    def test_bounded_by_bcet_ratio(self, variable_pair):
+        profile = gain_profile(variable_pair)
+        cap = 1.0 - variable_pair.bcet / variable_pair.wcet
+        assert np.all(profile <= cap + 1e-12)
+
+
+class TestAverageGain:
+    def test_between_bounds(self, variable_pair):
+        g = average_gain(variable_pair)
+        assert 0.0 < g < 1.0
+
+    def test_constant_zero(self, constant_pair):
+        assert average_gain(constant_pair) == pytest.approx(0.0)
+
+
+class TestVariabilityRatio:
+    def test_constant_demand_is_one(self, constant_pair):
+        assert variability_ratio(constant_pair.upper) == pytest.approx(1.0)
+
+    def test_variable_demand_exceeds_one(self, variable_pair):
+        assert variability_ratio(variable_pair.upper) > 1.5
+
+    def test_upper_only(self, variable_pair):
+        with pytest.raises(ValidationError):
+            variability_ratio(variable_pair.lower)
+
+
+class TestCurveDistance:
+    def test_identity_zero(self, variable_pair):
+        assert curve_distance(variable_pair.upper, variable_pair.upper) == 0.0
+
+    def test_sparse_sampling_bounded_looseness(self):
+        rng = np.random.default_rng(1)
+        demands = rng.uniform(1.0, 10.0, 2000)
+        dense = WorkloadCurve.from_demand_array(demands, "upper")
+        sparse = WorkloadCurve.from_demand_array(
+            demands, "upper", k_values=make_k_grid(2000, dense_limit=64, growth=1.1)
+        )
+        d = curve_distance(sparse, dense)
+        assert 0.0 < d < 0.15  # geometric grid: bounded relative inflation
+
+    def test_kind_mismatch(self, variable_pair):
+        with pytest.raises(ValidationError):
+            curve_distance(variable_pair.upper, variable_pair.lower)

@@ -1,0 +1,149 @@
+"""Unit and consistency tests for multi-mode analytical curves."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytical import PollingTask, two_mode_curves
+from repro.core.modes import ModeSpec, multi_mode_curves
+from repro.core.validation import audit_pair
+from repro.util.validation import ValidationError
+
+
+class TestModeSpec:
+    def test_defaults(self):
+        m = ModeSpec("x", 5.0)
+        assert m.max_count(7) == 7
+        assert m.min_count(7) == 0
+
+    def test_bounds_clipped_to_k(self):
+        m = ModeSpec("x", 5.0, n_max=lambda k: 100, n_min=lambda k: 100)
+        assert m.max_count(3) == 3
+        assert m.min_count(3) == 3
+
+    def test_negative_bound_rejected(self):
+        m = ModeSpec("x", 5.0, n_max=lambda k: -1)
+        with pytest.raises(ValidationError):
+            m.max_count(3)
+
+    def test_cost_positive(self):
+        with pytest.raises(ValidationError):
+            ModeSpec("x", 0.0)
+
+
+class TestReductionToTwoModes:
+    def test_matches_polling_task(self):
+        task = PollingTask(1.0, 3.0, 5.0, e_p=8.0, e_c=2.0)
+        modes = [
+            ModeSpec("process", 8.0, n_max=task.n_max, n_min=task.n_min),
+            ModeSpec("check", 2.0),
+        ]
+        pair = multi_mode_curves(modes, k_max=20)
+        ref = task.curves(20)
+        ks = np.arange(1, 21)
+        assert np.allclose(pair.upper(ks), ref.upper(ks))
+        assert np.allclose(pair.lower(ks), ref.lower(ks))
+
+    def test_matches_generic_two_mode(self):
+        n_max = lambda k: min(k, (k + 2) // 3)
+        n_min = lambda k: k // 5
+        modes = [
+            ModeSpec("heavy", 10.0, n_max=n_max, n_min=n_min),
+            ModeSpec("light", 1.0),
+        ]
+        pair = multi_mode_curves(modes, k_max=15)
+        ref = two_mode_curves(n_max, n_min, 10.0, 1.0, k_max=15)
+        ks = np.arange(1, 16)
+        assert np.allclose(pair.upper(ks), ref.upper(ks))
+        assert np.allclose(pair.lower(ks), ref.lower(ks))
+
+
+class TestThreeModes:
+    @pytest.fixture
+    def modes(self):
+        return [
+            ModeSpec("heavy", 10.0, n_max=lambda k: 1 + k // 4),
+            ModeSpec("medium", 4.0, n_max=lambda k: 1 + k // 2),
+            ModeSpec("light", 1.0),
+        ]
+
+    def test_upper_greedy_assignment(self, modes):
+        pair = multi_mode_curves(modes, k_max=8)
+        # k=4: 2 heavy (bound 1+1), 2 medium? medium bound 1+2=3 -> 2 heavy
+        # + 2 medium = 28
+        assert pair.upper(4) == pytest.approx(2 * 10 + 2 * 4)
+
+    def test_lower_is_all_light_without_minimums(self, modes):
+        pair = multi_mode_curves(modes, k_max=8)
+        ks = np.arange(1, 9)
+        assert np.allclose(pair.lower(ks), ks * 1.0)
+
+    def test_structurally_valid(self, modes):
+        assert audit_pair(multi_mode_curves(modes, k_max=16)).ok
+
+    def test_minimums_raise_lower_curve(self, modes):
+        constrained = [
+            ModeSpec("heavy", 10.0, n_max=lambda k: 1 + k // 4, n_min=lambda k: k // 6),
+            ModeSpec("medium", 4.0, n_max=lambda k: 1 + k // 2),
+            ModeSpec("light", 1.0),
+        ]
+        base = multi_mode_curves(modes, k_max=18)
+        lifted = multi_mode_curves(constrained, k_max=18)
+        ks = np.arange(1, 19)
+        assert np.all(lifted.lower(ks) >= base.lower(ks) - 1e-12)
+        assert lifted.lower(12) > base.lower(12)
+
+
+class TestValidation:
+    def test_at_least_one_mode(self):
+        with pytest.raises(ValidationError):
+            multi_mode_curves([])
+
+    def test_unique_names(self):
+        with pytest.raises(ValidationError, match="unique"):
+            multi_mode_curves([ModeSpec("x", 1.0), ModeSpec("x", 2.0)])
+
+    def test_insufficient_capacity_detected(self):
+        modes = [ModeSpec("only", 5.0, n_max=lambda k: 1)]
+        with pytest.raises(ValidationError, match="cover every activation"):
+            multi_mode_curves(modes, k_max=4)
+
+    def test_overcommitted_minimums_detected(self):
+        modes = [
+            ModeSpec("a", 5.0, n_min=lambda k: k),
+            ModeSpec("b", 1.0, n_min=lambda k: k),
+        ]
+        with pytest.raises(ValidationError, match="n_min"):
+            multi_mode_curves(modes, k_max=4)
+
+    def test_non_monotone_bound_detected(self):
+        flip = {1: 1, 2: 0}
+        modes = [
+            ModeSpec("a", 5.0, n_max=lambda k: flip.get(k, k)),
+            ModeSpec("b", 1.0),
+        ]
+        with pytest.raises(ValidationError, match="monotone"):
+            multi_mode_curves(modes, k_max=3)
+
+
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=20.0), min_size=2, max_size=4),
+    st.integers(min_value=2, max_value=6),
+)
+@settings(max_examples=40, deadline=None)
+def test_random_modes_consistent(costs, divisor):
+    """For random mode sets: lower <= upper, both monotone, and the upper
+    curve is bounded by k times the maximum cost."""
+    modes = [ModeSpec("free", min(costs))]
+    modes += [
+        ModeSpec(f"m{i}", c, n_max=lambda k, d=divisor + i: 1 + k // d)
+        for i, c in enumerate(costs)
+    ]
+    pair = multi_mode_curves(modes, k_max=12)
+    ks = np.arange(1, 13)
+    assert np.all(pair.lower(ks) <= pair.upper(ks) + 1e-9)
+    assert np.all(pair.upper(ks) <= ks * max(costs) + 1e-9)
+    assert np.all(np.diff(pair.upper(ks)) >= -1e-9)

@@ -1,0 +1,89 @@
+"""Round-trip tests for curve/profile serialization."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.events import ExecutionProfile
+from repro.core.serialization import (
+    curve_from_dict,
+    curve_to_dict,
+    load_pair,
+    pair_from_dict,
+    pair_to_dict,
+    profile_from_dict,
+    profile_to_dict,
+    save_pair,
+)
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError
+
+
+class TestCurveRoundTrip:
+    def test_exact(self):
+        curve = WorkloadCurve.from_demand_array([3.0, 1.5, 4.25], "upper")
+        again = curve_from_dict(curve_to_dict(curve))
+        assert again == curve
+
+    def test_json_serializable(self):
+        curve = WorkloadCurve.from_demand_array([1.0, 2.0], "lower")
+        text = json.dumps(curve_to_dict(curve))
+        assert curve_from_dict(json.loads(text)) == curve
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=30))
+    def test_random_curves(self, demands):
+        for kind in ("upper", "lower"):
+            curve = WorkloadCurve.from_demand_array(demands, kind)
+            assert curve_from_dict(curve_to_dict(curve)) == curve
+
+
+class TestPairRoundTrip:
+    def test_dict(self):
+        pair = WorkloadCurvePair.from_demand_array([2.0, 5.0, 3.0])
+        again = pair_from_dict(pair_to_dict(pair))
+        assert again.upper == pair.upper
+        assert again.lower == pair.lower
+
+    def test_file(self, tmp_path):
+        pair = WorkloadCurvePair.from_demand_array([2.0, 5.0, 3.0, 8.0])
+        path = tmp_path / "curves.json"
+        save_pair(pair, path)
+        again = load_pair(path)
+        ks = np.arange(0, 10)
+        assert np.allclose(again.upper(ks), pair.upper(ks))
+        assert np.allclose(again.lower(ks), pair.lower(ks))
+
+
+class TestProfileRoundTrip:
+    def test_exact(self):
+        profile = ExecutionProfile({"a": (2, 4), "b": (1.5, 3.25)})
+        assert profile_from_dict(profile_to_dict(profile)) == profile
+
+
+class TestValidation:
+    def test_wrong_type_rejected(self):
+        pair = WorkloadCurvePair.from_demand_array([1.0, 2.0])
+        doc = pair_to_dict(pair)
+        with pytest.raises(ValidationError, match="expected"):
+            curve_from_dict(doc)
+
+    def test_wrong_version_rejected(self):
+        curve = WorkloadCurve.from_demand_array([1.0], "upper")
+        doc = curve_to_dict(curve)
+        doc["format"] = 99
+        with pytest.raises(ValidationError, match="version"):
+            curve_from_dict(doc)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValidationError):
+            curve_from_dict("nope")
+
+    def test_corrupted_values_rejected(self):
+        curve = WorkloadCurve.from_demand_array([1.0, 2.0], "upper")
+        doc = curve_to_dict(curve)
+        doc["values"] = [2.0, 1.0]  # decreasing
+        with pytest.raises(ValidationError):
+            curve_from_dict(doc)

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.trace — including the paper's Figure 1 values."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, ExecutionProfile
+from repro.core.trace import EventTrace
+from repro.util.validation import ValidationError
+
+PROFILE = ExecutionProfile({"a": (2, 4), "b": (1, 3), "c": (1, 3)})
+
+
+@pytest.fixture
+def fig1_trace():
+    return EventTrace.from_type_names("ababccaac", PROFILE)
+
+
+class TestFigure1:
+    """The paper's Figure 1 example must reproduce exactly."""
+
+    def test_gamma_b_3_4(self, fig1_trace):
+        assert fig1_trace.gamma_b(3, 4) == 5.0
+
+    def test_gamma_w_3_4(self, fig1_trace):
+        assert fig1_trace.gamma_w(3, 4) == 13.0
+
+    def test_gamma_zero_window(self, fig1_trace):
+        assert fig1_trace.gamma_w(1, 0) == 0.0
+        assert fig1_trace.gamma_b(5, 0) == 0.0
+
+    def test_full_window(self, fig1_trace):
+        # a appears 4x, b 2x, c 3x
+        assert fig1_trace.gamma_w(1, 9) == 4 * 4 + 2 * 3 + 3 * 3
+        assert fig1_trace.gamma_b(1, 9) == 4 * 2 + 2 * 1 + 3 * 1
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            EventTrace([], PROFILE)
+
+    def test_non_event_rejected(self):
+        with pytest.raises(ValidationError):
+            EventTrace(["a"], PROFILE)
+
+    def test_uncovered_type_rejected(self):
+        with pytest.raises(ValidationError, match="does not cover"):
+            EventTrace.from_type_names("az", PROFILE)
+
+    def test_mixed_timestamps_rejected(self):
+        with pytest.raises(ValidationError, match="all events carry timestamps"):
+            EventTrace([Event("a", timestamp=1.0), Event("a")], PROFILE)
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            EventTrace([Event("a", timestamp=2.0), Event("a", timestamp=1.0)], PROFILE)
+
+    def test_demand_outside_interval_rejected(self):
+        with pytest.raises(ValidationError, match="outside"):
+            EventTrace([Event("a", demand=10.0)], PROFILE)
+
+    def test_from_demands(self):
+        trace = EventTrace.from_demands([1.0, 2.0, 3.0])
+        assert trace.has_measured_demands
+        assert list(trace.measured_demands()) == [1.0, 2.0, 3.0]
+
+    def test_from_demands_with_timestamps(self):
+        trace = EventTrace.from_demands([1.0, 2.0], timestamps=[0.0, 1.0])
+        assert list(trace.timestamps) == [0.0, 1.0]
+
+    def test_timestamp_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            EventTrace.from_demands([1.0], timestamps=[0.0, 1.0])
+
+
+class TestAccessors:
+    def test_len_iter_getitem(self, fig1_trace):
+        assert len(fig1_trace) == 9
+        assert fig1_trace[0].type_name == "a"
+        assert [ev.type_name for ev in fig1_trace] == list("ababccaac")
+
+    def test_type_counts(self, fig1_trace):
+        assert fig1_trace.type_counts() == {"a": 4, "b": 2, "c": 3}
+
+    def test_demand_vectors(self, fig1_trace):
+        assert list(fig1_trace.worst_case_demands()[:4]) == [4, 3, 4, 3]
+        assert list(fig1_trace.best_case_demands()[:4]) == [2, 1, 2, 1]
+
+    def test_measured_without_demands_raises(self, fig1_trace):
+        with pytest.raises(ValidationError):
+            fig1_trace.measured_demands()
+
+    def test_interval_without_profile_raises(self):
+        trace = EventTrace.from_demands([1.0, 2.0])
+        with pytest.raises(ValidationError, match="profile"):
+            trace.worst_case_demands()
+
+
+class TestWindows:
+    def test_window_out_of_range(self, fig1_trace):
+        with pytest.raises(ValidationError, match="exceeds trace length"):
+            fig1_trace.gamma_w(8, 3)
+
+    def test_j_must_be_positive(self, fig1_trace):
+        with pytest.raises(ValidationError):
+            fig1_trace.gamma_w(0, 2)
+
+
+class TestSlicing:
+    def test_subtrace(self, fig1_trace):
+        sub = fig1_trace.subtrace(2, 6)
+        assert sub.type_names == ("a", "b", "c", "c")
+
+    def test_subtrace_bounds(self, fig1_trace):
+        with pytest.raises(ValidationError):
+            fig1_trace.subtrace(0, 100)
+
+    def test_concatenate(self, fig1_trace):
+        both = fig1_trace.concatenate(fig1_trace)
+        assert len(both) == 18
+        assert both.profile == PROFILE
+
+    def test_concatenate_profile_conflict(self, fig1_trace):
+        other = EventTrace.from_type_names("aa", ExecutionProfile({"a": (1, 9)}))
+        with pytest.raises(ValidationError, match="different profiles"):
+            fig1_trace.concatenate(other)
+
+    def test_concatenate_preserves_ordered_timestamps(self):
+        t1 = EventTrace.from_type_names("aa", PROFILE, timestamps=[0.0, 1.0])
+        t2 = EventTrace.from_type_names("aa", PROFILE, timestamps=[2.0, 3.0])
+        both = t1.concatenate(t2)
+        assert list(both.timestamps) == [0.0, 1.0, 2.0, 3.0]
+
+    def test_concatenate_drops_conflicting_timestamps(self):
+        t1 = EventTrace.from_type_names("aa", PROFILE, timestamps=[0.0, 5.0])
+        t2 = EventTrace.from_type_names("aa", PROFILE, timestamps=[2.0, 3.0])
+        both = t1.concatenate(t2)
+        assert both.timestamps is None

@@ -1,0 +1,91 @@
+"""Unit tests for repro.core.validation (invariant audits)."""
+
+import pytest
+
+from repro.core.events import ExecutionProfile
+from repro.core.trace import EventTrace
+from repro.core.validation import (
+    CurveAudit,
+    audit_pair,
+    check_bounds_trace,
+    check_pair_consistent,
+    check_subadditive,
+    check_superadditive,
+)
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
+from repro.util.validation import ValidationError
+
+PROFILE = ExecutionProfile({"a": (2, 4), "b": (1, 3)})
+
+
+class TestCurveAudit:
+    def test_ok_when_empty(self):
+        audit = CurveAudit()
+        assert audit.ok
+        audit.raise_if_failed()  # no exception
+
+    def test_raise_if_failed(self):
+        audit = CurveAudit(["boom"])
+        assert not audit.ok
+        with pytest.raises(ValidationError, match="boom"):
+            audit.raise_if_failed()
+
+
+class TestAdditivityAudits:
+    def test_trace_curves_pass(self):
+        trace = EventTrace.from_type_names("abba", PROFILE)
+        pair = WorkloadCurvePair.from_trace(trace, demands="interval")
+        assert check_subadditive(pair.upper).ok
+        assert check_superadditive(pair.lower).ok
+
+    def test_violation_detected_upper(self):
+        bad = WorkloadCurve("upper", [1, 2], [1.0, 5.0])  # 5 > 1+1
+        audit = check_subadditive(bad)
+        assert not audit.ok
+        assert "sub-additive" in audit.violations[0]
+
+    def test_violation_detected_lower(self):
+        bad = WorkloadCurve("lower", [1, 2], [2.0, 3.0])  # 3 < 2+2
+        audit = check_superadditive(bad)
+        assert not audit.ok
+
+    def test_kind_mismatch_raises(self):
+        up = WorkloadCurve("upper", [1], [1.0])
+        with pytest.raises(ValidationError):
+            check_superadditive(up)
+
+
+class TestPairConsistency:
+    def test_valid_pair(self):
+        pair = WorkloadCurvePair.from_demand_array([2.0, 3.0, 1.0])
+        assert check_pair_consistent(pair).ok
+
+    def test_audit_pair_combines(self):
+        pair = WorkloadCurvePair.from_demand_array([2.0, 3.0, 1.0, 4.0])
+        assert audit_pair(pair).ok
+
+
+class TestBoundsTrace:
+    def test_matching_trace_passes(self):
+        trace = EventTrace.from_type_names("abbaab", PROFILE)
+        pair = WorkloadCurvePair.from_trace(trace, demands="interval")
+        assert check_bounds_trace(pair, trace, demands="interval").ok
+
+    def test_foreign_heavier_trace_fails(self):
+        light = EventTrace.from_type_names("bbbb", PROFILE)
+        pair = WorkloadCurvePair.from_trace(light, demands="interval")
+        heavy = EventTrace.from_type_names("aaaa", PROFILE)
+        audit = check_bounds_trace(pair, heavy, demands="interval")
+        assert not audit.ok
+        assert "exceeds upper bound" in audit.violations[0]
+
+    def test_measured_mode(self):
+        trace = EventTrace.from_demands([1.0, 2.0, 3.0])
+        pair = WorkloadCurvePair.from_trace(trace)
+        assert check_bounds_trace(pair, trace).ok
+
+    def test_unknown_mode_rejected(self):
+        trace = EventTrace.from_demands([1.0])
+        pair = WorkloadCurvePair.from_trace(trace)
+        with pytest.raises(ValidationError):
+            check_bounds_trace(pair, trace, demands="nonsense")

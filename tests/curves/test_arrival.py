@@ -1,0 +1,154 @@
+"""Unit tests for repro.curves.arrival."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.curves.arrival import (
+    from_trace_lower,
+    from_trace_upper,
+    leaky_bucket,
+    maximal_window_lengths,
+    minimal_window_lengths,
+    periodic_lower,
+    periodic_upper,
+)
+from repro.util.validation import ValidationError
+
+
+class TestLeakyBucket:
+    def test_shape(self):
+        a = leaky_bucket(5.0, 2.0)
+        assert a(0.0) == 5.0
+        assert a(3.0) == 11.0
+        assert a.final_slope == 2.0
+
+    def test_zero_burst_allowed(self):
+        assert leaky_bucket(0.0, 1.0)(0.0) == 0.0
+
+
+class TestPeriodic:
+    def test_upper_closed_window_convention(self):
+        # floor((d + j)/p) + 1 within the horizon
+        a = periodic_upper(2.0, jitter=0.5, horizon_periods=16)
+        for d in [0.0, 0.5, 1.4, 1.5, 3.4, 3.5, 10.0]:
+            expected = math.floor((d + 0.5) / 2.0) + 1
+            assert a(d) == pytest.approx(expected), d
+
+    def test_upper_tail_sound(self):
+        a = periodic_upper(2.0, jitter=0.5, horizon_periods=4)
+        for d in np.linspace(8, 40, 30):
+            true = math.floor((d + 0.5) / 2.0) + 1
+            assert a(d) >= true - 1e-9
+
+    def test_lower_exact_within_horizon(self):
+        a = periodic_lower(2.0, jitter=0.5, horizon_periods=16)
+        for d in [0.0, 2.4, 2.5, 4.5, 6.4, 10.0]:
+            expected = max(0, math.floor((d - 0.5) / 2.0))
+            assert a(d) == pytest.approx(expected), d
+
+    def test_lower_tail_sound(self):
+        a = periodic_lower(2.0, jitter=0.5, horizon_periods=4)
+        for d in np.linspace(8, 60, 40):
+            true = max(0, math.floor((d - 0.5) / 2.0))
+            assert a(d) <= true + 1e-9
+
+    def test_lower_below_upper(self):
+        up = periodic_upper(1.5, jitter=0.3)
+        lo = periodic_lower(1.5, jitter=0.3)
+        ds = np.linspace(0, 50, 101)
+        assert np.all(lo(ds) <= up(ds) + 1e-9)
+
+    def test_zero_jitter(self):
+        a = periodic_upper(1.0)
+        assert a(0.0) == 1.0
+        assert a(0.999) == pytest.approx(1.0)
+        assert a(1.0) == pytest.approx(2.0)
+
+
+class TestWindowLengths:
+    def test_minimal_windows(self):
+        ts = [0.0, 1.0, 3.0, 3.5, 7.0]
+        ns, d = minimal_window_lengths(ts)
+        assert list(ns) == [1, 2, 3, 4, 5]
+        assert d[0] == 0.0
+        assert d[1] == 0.5   # events 3.0, 3.5
+        assert d[2] == 2.5   # events 1.0..3.5
+        assert d[4] == 7.0
+
+    def test_maximal_windows(self):
+        ts = [0.0, 1.0, 3.0, 3.5, 7.0]
+        ns, d = maximal_window_lengths(ts)
+        assert d[1] == 3.5   # events 3.5 -> 7.0
+        assert d[4] == 7.0
+
+    def test_subsampled_n(self):
+        ts = np.linspace(0, 10, 11)
+        ns, d = minimal_window_lengths(ts, n_values=[1, 5, 11])
+        assert list(ns) == [1, 5, 11]
+        assert list(d) == [0.0, 4.0, 10.0]
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValidationError):
+            minimal_window_lengths([0.0, 1.0], n_values=[2, 1])
+
+    def test_unsorted_timestamps_rejected(self):
+        with pytest.raises(ValidationError):
+            minimal_window_lengths([1.0, 0.5])
+
+
+class TestFromTrace:
+    def test_upper_staircase_values(self):
+        ts = [0.0, 1.0, 2.0, 3.0]  # strictly periodic
+        a = from_trace_upper(ts)
+        assert a(0.0) == 1.0
+        assert a(1.0) == 2.0
+        assert a(2.5) == 3.0
+        assert a(3.0) == 4.0
+
+    def test_upper_bounds_every_window(self):
+        rng = np.random.default_rng(5)
+        ts = np.cumsum(rng.exponential(1.0, 120))
+        a = from_trace_upper(ts)
+        for _ in range(200):
+            width = rng.uniform(0.0, 30.0)
+            start = rng.uniform(ts[0], ts[-1] - width)
+            count = np.sum((ts >= start) & (ts <= start + width))
+            assert count <= a(width) + 1e-9
+
+    def test_subsampled_upper_still_sound(self):
+        rng = np.random.default_rng(6)
+        ts = np.cumsum(rng.exponential(1.0, 150))
+        dense = from_trace_upper(ts)
+        sparse = from_trace_upper(ts, n_values=np.array([1, 2, 5, 20, 60, 150]))
+        ds = np.linspace(0, float(ts[-1] - ts[0]), 60)
+        assert np.all(sparse(ds) >= dense(ds) - 1e-9)
+
+    def test_final_rate_default_long_run(self):
+        ts = np.arange(0.0, 50.0)  # 1 event/s
+        a = from_trace_upper(ts)
+        assert a.final_slope == pytest.approx(50 / 49, rel=1e-6)
+
+    def test_final_rate_zero(self):
+        ts = np.arange(0.0, 10.0)
+        a = from_trace_upper(ts, final_rate=0.0)
+        assert a.final_slope == 0.0
+
+    def test_lower_below_actual_counts(self):
+        rng = np.random.default_rng(7)
+        ts = np.cumsum(rng.uniform(0.5, 1.5, 100))
+        lo = from_trace_lower(ts)
+        for _ in range(200):
+            width = rng.uniform(0.0, 30.0)
+            start = rng.uniform(ts[0], ts[-1] - width)
+            if start <= ts[0] or start + width >= ts[-1]:
+                continue  # guarantee applies to interior windows
+            count = np.sum((ts >= start) & (ts <= start + width))
+            assert count >= lo(width) - 1e-9
+
+    def test_lower_trivial_for_tiny_trace(self):
+        lo = from_trace_lower([0.0, 1.0])
+        assert lo(100.0) == 0.0

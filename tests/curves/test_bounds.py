@@ -1,0 +1,83 @@
+"""Unit tests for backlog/delay/output bounds (paper eq. (6), Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.curves.arrival import from_trace_upper, leaky_bucket, periodic_upper
+from repro.curves.bounds import backlog_bound, delay_bound, is_stable, output_arrival_curve
+from repro.curves.minplus import UnboundedCurveError
+from repro.curves.service import full_processor, rate_latency
+
+
+class TestStability:
+    def test_stable(self):
+        assert is_stable(leaky_bucket(5, 2), rate_latency(4, 1))
+
+    def test_unstable(self):
+        assert not is_stable(leaky_bucket(5, 6), rate_latency(4, 1))
+
+
+class TestBacklog:
+    def test_closed_form(self):
+        # sup(α − β) = b + r·T for leaky bucket through rate-latency
+        assert backlog_bound(leaky_bucket(5, 2), rate_latency(4, 3)) == pytest.approx(11.0)
+
+    def test_full_processor(self):
+        # burst only: sup(b + rΔ − FΔ) = b for F >= r
+        assert backlog_bound(leaky_bucket(7, 2), full_processor(5.0)) == pytest.approx(7.0)
+
+    def test_staircase_alpha(self):
+        a = periodic_upper(1.0) * 2.0   # 2 units every second
+        b = full_processor(3.0)
+        # worst just before each service catches up; brute-force compare
+        ds = np.linspace(0, 20, 4001)
+        brute = float(np.max(a(ds) - b(ds)))
+        assert backlog_bound(a, b) == pytest.approx(brute, abs=1e-6)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnboundedCurveError):
+            backlog_bound(leaky_bucket(1, 10), full_processor(5.0))
+
+
+class TestDelay:
+    def test_closed_form(self):
+        # T + b/R
+        assert delay_bound(leaky_bucket(5, 2), rate_latency(4, 3)) == pytest.approx(3 + 5 / 4)
+
+    def test_zero_for_overprovisioned(self):
+        a = leaky_bucket(0.0, 1.0)
+        assert delay_bound(a, full_processor(10.0)) == pytest.approx(0.0)
+
+    def test_staircase_brute_force(self):
+        a = periodic_upper(1.0) * 3.0
+        b = full_processor(4.0)
+        bound = delay_bound(a, b)
+        # horizontal deviation by brute force
+        ds = np.linspace(0, 15, 1501)
+        worst = 0.0
+        for d in ds:
+            need = a(d)
+            if need <= 0:
+                continue
+            worst = max(worst, need / 4.0 - d)
+        assert bound == pytest.approx(worst, abs=1e-3)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnboundedCurveError):
+            delay_bound(leaky_bucket(1, 10), full_processor(5.0))
+
+
+class TestOutput:
+    def test_output_burst_grows(self):
+        out = output_arrival_curve(leaky_bucket(5, 2), rate_latency(4, 3))
+        assert out(0.0) == pytest.approx(11.0)
+        assert out.final_slope == pytest.approx(2.0)
+
+    def test_trace_alpha_through_processor(self):
+        rng = np.random.default_rng(11)
+        ts = np.cumsum(rng.exponential(1.0, 80))
+        a = from_trace_upper(ts)
+        b = full_processor(2 * a.final_slope + 1.0)
+        out = output_arrival_curve(a, b)
+        ds = np.linspace(0, 20, 21)
+        assert np.all(out(ds) >= a(ds) - 1e-9)

@@ -1,0 +1,131 @@
+"""Unit and simulation-based tests for the parameterized event models."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves.event_models import (
+    EventModel,
+    periodic_burst_event_model,
+    pjd_event_model,
+    sporadic_event_model,
+)
+from repro.util.validation import ValidationError
+
+
+def count_in_windows(timestamps, width, starts):
+    ts = np.asarray(timestamps)
+    return np.array([np.sum((ts >= s) & (ts <= s + width)) for s in starts])
+
+
+class TestPjd:
+    def test_plain_periodic(self):
+        m = pjd_event_model(2.0)
+        assert m.upper(0.0) == 1.0
+        assert m.upper(2.0) == 2.0
+        assert m.lower(4.0) == 2.0
+
+    def test_jitter_raises_upper(self):
+        plain = pjd_event_model(2.0)
+        jittery = pjd_event_model(2.0, jitter=1.0)
+        ds = np.linspace(0, 20, 41)
+        assert np.all(jittery.upper(ds) >= plain.upper(ds) - 1e-9)
+        assert np.all(jittery.lower(ds) <= plain.lower(ds) + 1e-9)
+
+    def test_min_distance_caps_density(self):
+        unclamped = pjd_event_model(2.0, jitter=6.0)
+        clamped = pjd_event_model(2.0, jitter=6.0, min_distance=1.0)
+        # at tiny windows jitter alone would admit 4 events; d=1 caps at 1+d
+        assert unclamped.upper(0.0) == 4.0
+        assert clamped.upper(0.0) == 1.0
+        assert clamped.upper(1.0) == 2.0
+
+    def test_simulated_jittered_stream_conforms(self):
+        rng = np.random.default_rng(3)
+        p, j = 2.0, 0.8
+        m = pjd_event_model(p, jitter=j)
+        nominal = np.arange(0, 400) * p
+        ts = np.sort(nominal + rng.uniform(0, j, nominal.size))
+        for width in [0.0, 0.5, 1.7, 4.2, 11.0]:
+            counts = count_in_windows(ts, width, rng.uniform(10, 700, 200))
+            assert counts.max() <= m.upper(width) + 1e-9
+            interior = counts[:]  # windows well inside the stream
+            assert interior.min() >= m.lower(width) - 1e-9
+
+    def test_distance_beyond_period_rejected(self):
+        with pytest.raises(ValidationError):
+            pjd_event_model(2.0, min_distance=3.0)
+
+
+class TestSporadic:
+    def test_upper_density(self):
+        m = sporadic_event_model(0.5)
+        assert m.upper(0.0) == 1.0
+        assert m.upper(0.5) == 2.0
+        assert m.upper(2.0) == 5.0
+
+    def test_lower_is_zero(self):
+        m = sporadic_event_model(0.5)
+        assert m.lower(100.0) == 0.0
+
+    def test_tail_sound(self):
+        m = sporadic_event_model(0.5, horizon_events=4)
+        for d in np.linspace(2, 30, 20):
+            true = math.floor(d / 0.5) + 1
+            assert m.upper(d) >= true - 1e-9
+
+    def test_simulated_sporadic_conforms(self):
+        rng = np.random.default_rng(5)
+        m = sporadic_event_model(0.5)
+        ts = np.cumsum(rng.uniform(0.5, 3.0, 300))
+        for width in [0.0, 1.0, 4.0, 9.0]:
+            counts = count_in_windows(ts, width, rng.uniform(ts[0], ts[-1] - width, 150))
+            assert counts.max() <= m.upper(width) + 1e-9
+
+
+class TestPeriodicBurst:
+    def test_burst_at_origin(self):
+        m = periodic_burst_event_model(10.0, 3, 0.5)
+        assert m.upper(0.0) == 1.0
+        assert m.upper(0.5) == 2.0
+        assert m.upper(1.0) == 3.0
+        assert m.upper(9.9) == 3.0  # next burst starts at 10
+        assert m.upper(10.0) == 4.0
+
+    def test_long_run_rate(self):
+        m = periodic_burst_event_model(10.0, 3, 0.5)
+        assert m.upper.final_slope == pytest.approx(0.3)
+
+    def test_lower_counts_full_periods(self):
+        m = periodic_burst_event_model(10.0, 3, 0.5)
+        assert m.lower(10.0) == 0.0
+        assert m.lower(11.0) == 3.0
+        assert m.lower(21.0) == 6.0
+
+    def test_simulated_bursts_conform(self):
+        rng = np.random.default_rng(7)
+        p, b, d = 10.0, 3, 0.5
+        m = periodic_burst_event_model(p, b, d)
+        ts = []
+        for cycle in range(100):
+            start = cycle * p + rng.uniform(0, p - (b - 1) * d - 1e-9)
+            gaps = rng.uniform(d, 1.5, b - 1)
+            burst = start + np.concatenate(([0.0], np.cumsum(gaps)))
+            ts.extend(t for t in burst if t < (cycle + 1) * p)
+        ts = np.array(sorted(ts))
+        for width in [0.0, 0.6, 3.0, 12.0, 25.0]:
+            counts = count_in_windows(ts, width, rng.uniform(ts[0], ts[-1] - width, 150))
+            assert counts.max() <= m.upper(width) + 1e-9
+
+    def test_burst_must_fit_period(self):
+        with pytest.raises(ValidationError):
+            periodic_burst_event_model(1.0, 3, 0.5)
+
+
+class TestEventModel:
+    def test_crossing_curves_rejected(self):
+        from repro.curves.curve import linear_curve
+
+        with pytest.raises(ValidationError):
+            EventModel("bad", linear_curve(1.0), linear_curve(2.0))

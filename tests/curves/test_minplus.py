@@ -1,0 +1,127 @@
+"""Unit tests for min-plus convolution/deconvolution — closed forms and
+brute-force comparisons."""
+
+import numpy as np
+import pytest
+
+from repro.curves.arrival import leaky_bucket
+from repro.curves.curve import step_curve
+from repro.curves.minplus import (
+    UnboundedCurveError,
+    convolve,
+    convolve_at,
+    deconvolve,
+    deconvolve_at,
+    self_convolution_fixpoint,
+)
+from repro.curves.service import rate_latency
+
+
+def brute_convolve(f, g, d, n=3001):
+    ss = np.linspace(0.0, d, n)
+    best = np.inf
+    for s in ss:
+        fv = 0.0 if s == 0 else float(f(s))
+        gv = 0.0 if d - s == 0 else float(g(d - s))
+        best = min(best, fv + gv)
+    return best
+
+
+def brute_deconvolve(f, g, d, u_max, n=4001):
+    us = np.linspace(0.0, u_max, n)
+    best = -np.inf
+    for u in us:
+        gv = 0.0 if u == 0 else float(g(u))
+        best = max(best, float(f(d + u)) - gv)
+    return best
+
+
+class TestConvolveClosedForms:
+    def test_rate_latency_composition(self):
+        # β(R1,T1) ⊗ β(R2,T2) = β(min R, T1+T2)
+        c = convolve(rate_latency(4.0, 3.0), rate_latency(6.0, 1.0))
+        ds = np.linspace(0, 12, 49)
+        assert np.allclose(c(ds), 4.0 * np.maximum(0.0, ds - 4.0))
+
+    def test_leaky_buckets_pointwise_min(self):
+        c = convolve(leaky_bucket(5, 2), leaky_bucket(8, 1))
+        ref = leaky_bucket(5, 2).minimum(leaky_bucket(8, 1))
+        ds = np.linspace(0.01, 10, 50)
+        assert np.allclose(c(ds), ref(ds))
+
+    def test_convolution_with_fast_zero_latency_server(self):
+        # with the f(0)=0 convention the result is min(f, R·Δ): the server
+        # line clips the burst near the origin (Le Boudec & Thiran, ch. 3)
+        f = leaky_bucket(3.0, 2.0)
+        c = convolve(f, rate_latency(100.0, 0.0))
+        ds = np.linspace(0.01, 5, 21)
+        assert np.allclose(c(ds), np.minimum(f(ds), 100.0 * ds))
+
+    def test_commutative(self):
+        f = leaky_bucket(4.0, 1.5)
+        g = rate_latency(3.0, 2.0)
+        ds = np.linspace(0, 10, 41)
+        assert np.allclose(convolve(f, g)(ds), convolve(g, f)(ds))
+
+
+class TestConvolveStaircase:
+    def test_matches_brute_force(self):
+        st_ = step_curve([0.0, 1.0, 2.0, 3.0], [2, 2, 2, 2])
+        sv = rate_latency(9.0, 0.5)
+        c = convolve(st_, sv)
+        for d in np.linspace(0.05, 6.0, 24):
+            brute = brute_convolve(st_, sv, d)
+            assert c(d) == pytest.approx(brute, abs=0.05)
+
+    def test_point_eval_matches_curve(self):
+        st_ = step_curve([0.0, 0.7, 1.9], [1, 3, 2])
+        sv = rate_latency(5.0, 0.3)
+        c = convolve(st_, sv)
+        for d in [0.0, 0.4, 1.0, 2.5, 7.0]:
+            assert c(d) == pytest.approx(convolve_at(st_, sv, d), abs=1e-6)
+
+
+class TestDeconvolve:
+    def test_leaky_bucket_through_rate_latency(self):
+        # α ⊘ β = (b + r·T) + r·Δ
+        out = deconvolve(leaky_bucket(5.0, 2.0), rate_latency(4.0, 3.0))
+        ds = np.linspace(0, 10, 41)
+        assert np.allclose(out(ds), 11.0 + 2.0 * ds)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnboundedCurveError):
+            deconvolve(leaky_bucket(1.0, 5.0), rate_latency(4.0, 1.0))
+
+    def test_point_unstable_raises(self):
+        with pytest.raises(UnboundedCurveError):
+            deconvolve_at(leaky_bucket(1.0, 5.0), rate_latency(4.0, 1.0), 1.0)
+
+    def test_staircase_matches_brute(self):
+        st_ = step_curve([0.0, 1.0, 2.0, 3.0], [2, 2, 2, 2])
+        sv = rate_latency(9.0, 0.5)
+        out = deconvolve(st_, sv)
+        for d in np.linspace(0, 6, 25):
+            brute = brute_deconvolve(st_, sv, d, u_max=12.0)
+            assert out(d) >= brute - 1e-6
+            assert out(d) <= brute + 2.01  # one step of left-limit slack
+
+    def test_deconvolve_dominates_input(self):
+        # α ⊘ β >= α for any service curve with β(0) = 0
+        a = leaky_bucket(3.0, 1.0)
+        b = rate_latency(2.0, 1.0)
+        out = deconvolve(a, b)
+        ds = np.linspace(0, 8, 33)
+        assert np.all(out(ds) >= a(ds) - 1e-9)
+
+
+class TestFixpoint:
+    def test_concave_is_fixpoint(self):
+        f = leaky_bucket(3.0, 1.0)
+        assert self_convolution_fixpoint(f) == f.simplified()
+
+    def test_result_subadditive_ish(self):
+        # a curve with a superlinear kink gets flattened
+        f = step_curve([0.0, 1.0], [1.0, 5.0])
+        h = self_convolution_fixpoint(f, iterations=4)
+        ds = np.linspace(0.01, 3, 13)
+        assert np.all(h(ds) <= f(ds) + 1e-9)

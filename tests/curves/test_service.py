@@ -1,0 +1,93 @@
+"""Unit tests for repro.curves.service."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.curves.arrival import leaky_bucket, periodic_upper
+from repro.curves.service import full_processor, rate_latency, remaining_service_fp, tdma
+from repro.util.validation import ValidationError
+
+
+class TestFullProcessor:
+    def test_linear(self):
+        b = full_processor(100.0)
+        assert b(0.0) == 0.0
+        assert b(2.0) == 200.0
+
+    def test_positive_frequency_required(self):
+        with pytest.raises(ValidationError):
+            full_processor(0.0)
+
+
+class TestRateLatency:
+    def test_shape(self):
+        b = rate_latency(4.0, 3.0)
+        assert b(2.0) == 0.0
+        assert b(3.0) == 0.0
+        assert b(5.0) == 8.0
+
+    def test_zero_latency_degenerates(self):
+        assert rate_latency(4.0, 0.0)(2.0) == 8.0
+
+
+def tdma_reference(d, slot, cycle, bandwidth):
+    return bandwidth * (math.floor(d / cycle) * slot + max(0.0, d % cycle - (cycle - slot)))
+
+
+class TestTdma:
+    def test_exact_within_horizon(self):
+        b = tdma(2.0, 5.0, 100.0, horizon_cycles=6)
+        for d in np.linspace(0, 29.9, 120):
+            assert b(d) == pytest.approx(tdma_reference(d, 2.0, 5.0, 100.0)), d
+
+    def test_sound_beyond_horizon(self):
+        b = tdma(2.0, 5.0, 100.0, horizon_cycles=3)
+        for d in np.linspace(15, 80, 66):
+            assert b(d) <= tdma_reference(d, 2.0, 5.0, 100.0) + 1e-6
+
+    def test_full_slot_is_full_processor(self):
+        b = tdma(5.0, 5.0, 100.0)
+        assert b(3.0) == 300.0
+
+    def test_slot_exceeding_cycle_rejected(self):
+        with pytest.raises(ValidationError):
+            tdma(6.0, 5.0, 100.0)
+
+    def test_long_run_rate(self):
+        b = tdma(2.0, 5.0, 100.0)
+        assert b.final_slope == pytest.approx(100.0 * 2.0 / 5.0)
+
+
+class TestRemainingService:
+    def test_closed_form_rate_latency(self):
+        # full processor minus leaky bucket -> rate-latency(F - r, b/(F - r))
+        beta = full_processor(10.0)
+        hp = leaky_bucket(3.0, 4.0)
+        rem = remaining_service_fp(beta, hp)
+        assert rem.final_slope == pytest.approx(6.0)
+        assert rem(0.25) == 0.0
+        assert rem(0.5) == pytest.approx(0.0)
+        assert rem(2.0) == pytest.approx(10 * 2 - (3 + 4 * 2))
+
+    def test_brute_force_match(self):
+        beta = full_processor(8.0)
+        hp = periodic_upper(1.0) * 3.0
+        rem = remaining_service_fp(beta, hp)
+        for d in np.linspace(0, 10, 41):
+            us = np.linspace(0, d, 801)
+            brute = max(max(0.0, beta(u) - hp(u)) for u in us)
+            assert rem(d) >= brute - 1e-6
+            assert rem(d) <= brute + 0.5  # eps probes may see just-before-jump
+
+    def test_monotone(self):
+        beta = full_processor(10.0)
+        hp = periodic_upper(0.7) * 2.0
+        rem = remaining_service_fp(beta, hp)
+        ds = np.linspace(0, 20, 101)
+        assert np.all(np.diff(rem(ds)) >= -1e-9)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(ValidationError, match="saturates"):
+            remaining_service_fp(full_processor(5.0), leaky_bucket(1.0, 5.0))

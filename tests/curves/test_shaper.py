@@ -1,0 +1,57 @@
+"""Unit tests for the greedy shaper."""
+
+import numpy as np
+import pytest
+
+from repro.curves.arrival import leaky_bucket
+from repro.curves.service import rate_latency
+from repro.curves.shaper import GreedyShaper
+from repro.curves.bounds import backlog_bound
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def shaper():
+    return GreedyShaper(leaky_bucket(2.0, 3.0))
+
+
+class TestShaper:
+    def test_requires_curve(self):
+        with pytest.raises(ValidationError):
+            GreedyShaper("not a curve")
+
+    def test_output_conforms_to_sigma(self, shaper):
+        bursty = leaky_bucket(10.0, 1.0)
+        out = shaper.output_arrival_curve(bursty)
+        ds = np.linspace(0.01, 10, 41)
+        assert np.all(out(ds) <= shaper.sigma(ds) + 1e-9)
+
+    def test_output_is_min_for_leaky_buckets(self, shaper):
+        bursty = leaky_bucket(10.0, 1.0)
+        out = shaper.output_arrival_curve(bursty)
+        ds = np.linspace(0.01, 10, 41)
+        expected = np.minimum(bursty(ds), shaper.sigma(ds))
+        assert np.allclose(out(ds), expected)
+
+    def test_buffer_and_delay(self, shaper):
+        bursty = leaky_bucket(10.0, 1.0)
+        # shaper as service σ: backlog = sup(α − σ), delay = horizontal dev
+        assert shaper.buffer_requirement(bursty) == pytest.approx(
+            backlog_bound(bursty, shaper.sigma)
+        )
+        assert shaper.delay_requirement(bursty) > 0
+
+    def test_transparent_for_conforming_flow(self, shaper):
+        smooth = leaky_bucket(1.0, 2.0)
+        assert shaper.is_transparent_for(smooth)
+        assert shaper.delay_requirement(smooth) == pytest.approx(0.0)
+
+    def test_not_transparent_for_bursty_flow(self, shaper):
+        assert not shaper.is_transparent_for(leaky_bucket(10.0, 1.0))
+
+    def test_shaping_reduces_downstream_backlog(self, shaper):
+        bursty = leaky_bucket(10.0, 1.0)
+        node = rate_latency(4.0, 1.0)
+        before = backlog_bound(bursty, node)
+        after = backlog_bound(shaper.output_arrival_curve(bursty), node)
+        assert after < before

@@ -1,0 +1,30 @@
+"""Tests for the A5 acceptance-ratio experiment."""
+
+import pytest
+
+from repro.experiments import acceptance_table
+
+
+class TestAcceptanceTable:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return acceptance_table.run(
+            utilizations=(0.6, 1.0, 1.4), sets_per_point=20, seed=7
+        )
+
+    def test_curves_dominate_classic(self, result):
+        for row in result.data["rows"]:
+            assert row["curves_acceptance"] >= row["classic_acceptance"]
+
+    def test_low_utilization_all_accepted(self, result):
+        first = result.data["rows"][0]
+        assert first["classic_acceptance"] == 1.0
+        assert first["curves_acceptance"] == 1.0
+
+    def test_curves_accept_beyond_u1(self, result):
+        beyond = [r for r in result.data["rows"] if r["utilization"] >= 1.0]
+        assert any(r["curves_acceptance"] > 0.5 for r in beyond)
+
+    def test_classic_rejects_overload(self, result):
+        overloaded = [r for r in result.data["rows"] if r["utilization"] >= 1.0]
+        assert all(r["classic_acceptance"] <= 0.2 for r in overloaded)

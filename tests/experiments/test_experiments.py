@@ -1,0 +1,129 @@
+"""Tests for the experiment harnesses (reduced-size runs).
+
+The light experiments (E1-E3) run at full fidelity; the case-study
+experiments run on the shared 12-frame context so the whole file stays
+fast, checking the *shape* claims: who wins, orderings, safety.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    ablation_buffer,
+    ablation_variability,
+    backlog_bounds,
+    conversion_demo,
+    fig1_sequence,
+    fig2_polling,
+    fig6_workload_curves,
+    fig7_backlogs,
+    freq_table,
+    rms_table,
+)
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
+            "A1", "A2", "A3", "A4", "A5", "A6",
+        }
+
+
+class TestFig1:
+    def test_paper_values(self):
+        result = fig1_sequence.run()
+        assert result.data["gamma_b_3_4"] == 5.0
+        assert result.data["gamma_w_3_4"] == 13.0
+        assert "Figure 1" in result.paper_reference
+
+
+class TestFig2:
+    def test_curve_ordering(self):
+        result = fig2_polling.run(k_max=16)
+        u = np.array(result.data["gamma_u"])
+        l = np.array(result.data["gamma_l"])
+        w = np.array(result.data["wcet_line"])
+        b = np.array(result.data["bcet_line"])
+        assert np.all(b <= l + 1e-9)
+        assert np.all(l <= u + 1e-9)
+        assert np.all(u <= w + 1e-9)
+        assert result.data["gain_at_12"] > 0.3  # substantial grey area
+
+
+class TestRmsTable:
+    def test_curve_test_never_worse(self):
+        result = rms_table.run(loads=(0.5, 1.0))
+        for row in result.data["rows"]:
+            assert row["L_curves"] <= row["L_classic"] + 1e-12
+
+    def test_admitted_sets_never_miss(self):
+        result = rms_table.run(loads=(0.5, 0.8, 1.0))
+        for row in result.data["rows"]:
+            if row["curves_schedulable"]:
+                assert row["sim_misses"] == 0
+
+    def test_some_set_gained(self):
+        result = rms_table.run()
+        gained = [
+            r for r in result.data["rows"]
+            if r["curves_schedulable"] and not r["classic_schedulable"]
+        ]
+        assert gained  # the paper's headline: strictly more permissive
+
+
+@pytest.mark.usefixtures("small_context")
+class TestCaseStudy:
+    def test_fig6_shape(self, small_context):
+        result = fig6_workload_curves.run(frames=small_context.frames)
+        ks = np.array(result.data["k"])
+        u = np.array(result.data["gamma_u"])
+        l = np.array(result.data["gamma_l"])
+        assert np.all(l <= u + 1e-9)
+        assert np.all(u <= ks * result.data["wcet"] + 1e-6)
+        assert result.data["wcet_ratio"] > 1.5  # strong variability
+
+    def test_freq_headline_shape(self, small_context):
+        result = freq_table.run(frames=small_context.frames)
+        assert result.data["f_gamma_hz"] < result.data["f_wcet_hz"]
+        assert result.data["savings"] > 0.35
+        assert result.data["constraint_ok"]
+
+    def test_fig7_all_bars_safe(self, small_context):
+        result = fig7_backlogs.run(frames=small_context.frames)
+        norms = result.data["normalized_backlogs"]
+        assert len(norms) == 14
+        assert not result.data["any_overflow"]
+        assert max(norms) <= 1.0 + 1e-9
+
+    def test_backlog_ordering(self, small_context):
+        result = backlog_bounds.run(frames=small_context.frames)
+        assert result.data["analytic"] == pytest.approx(result.data["expected"])
+        assert result.data["sim_max"] <= result.data["bound_curves"] + 1e-9
+        assert result.data["bound_curves"] <= result.data["bound_wcet"] + 1e-9
+
+    def test_conversion_galois(self, small_context):
+        result = conversion_demo.run(frames=small_context.frames)
+        assert result.data["galois_ok"]
+        assert result.data["tightening_at_1s"] > 0.0
+
+    def test_buffer_ablation_monotone(self, small_context):
+        result = ablation_buffer.run(
+            frames=small_context.frames, buffer_sizes=(405, 1620, 6480)
+        )
+        rows = result.data["rows"]
+        f_gammas = [r["f_gamma"] for r in rows]
+        assert all(a >= b for a, b in zip(f_gammas, f_gammas[1:]))
+        for r in rows:
+            assert r["f_gamma"] <= r["f_wcet"] + 1e-6
+
+
+class TestVariabilityAblation:
+    def test_savings_grow_with_variability(self):
+        result = ablation_variability.run(
+            frames=12, stall_levels=(0.0, 1.4), n_clips=3
+        )
+        rows = result.data["rows"]
+        assert rows[-1]["wcet_ratio"] > rows[0]["wcet_ratio"]
+        assert rows[-1]["savings"] > rows[0]["savings"]

@@ -1,0 +1,29 @@
+"""Tests for the A6 characterization-ladder experiment."""
+
+import pytest
+
+from repro.experiments import ladder_table
+
+
+class TestLadder:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return ladder_table.run(frames=small_context.frames)
+
+    def test_three_rungs(self, result):
+        assert len(result.data["rows"]) == 3
+
+    def test_monotone_refinement(self, result):
+        f_mins = [r["f_min"] for r in result.data["rows"]]
+        assert f_mins[0] >= f_mins[1] >= f_mins[2]
+
+    def test_measured_rung_dominant(self, result):
+        rows = result.data["rows"]
+        assert rows[2]["saving"] > 0.4
+
+    def test_interval_rung_modest(self, result):
+        """With the coarse 7-type alphabet the interval rung buys only a
+        little — the scientific observation the experiment exists to make:
+        the analytic mode's gain is driven by type granularity."""
+        rows = result.data["rows"]
+        assert 0.0 <= rows[1]["saving"] < rows[2]["saving"]

@@ -1,0 +1,26 @@
+"""Tests for the A3 power-savings experiment."""
+
+import pytest
+
+from repro.experiments import power_table
+
+
+class TestPowerTable:
+    def test_savings_monotone_in_exponent(self, small_context):
+        result = power_table.run(frames=small_context.frames)
+        rows = result.data["rows"]
+        savings = [r["power_saving"] for r in rows]
+        assert savings == sorted(savings)
+
+    def test_cubic_saving_large(self, small_context):
+        result = power_table.run(frames=small_context.frames)
+        cubic = [r for r in result.data["rows"] if r["exponent"] == 3.0][0]
+        assert cubic["power_saving"] > 0.7
+
+    def test_models_internally_consistent(self, small_context):
+        # all rows share the same frequency ratio r: saving_e = 1 − r^e
+        result = power_table.run(frames=small_context.frames)
+        rows = {r["exponent"]: r["power_saving"] for r in result.data["rows"]}
+        r = 1 - rows[1.0]
+        assert rows[2.0] == pytest.approx(1 - r**2)
+        assert rows[3.0] == pytest.approx(1 - r**3)

@@ -1,0 +1,31 @@
+"""Tests for the A4 greedy-shaping experiment."""
+
+import pytest
+
+from repro.experiments import shaper_table
+
+
+class TestShaperTable:
+    @pytest.fixture(scope="class")
+    def result(self, small_context):
+        return shaper_table.run(frames=small_context.frames)
+
+    def test_frequency_monotone_in_shaping(self, result):
+        rows = result.data["rows"]  # bursts listed large -> small
+        freqs = [r["f_gamma"] for r in rows]
+        assert all(a >= b - 1e-6 for a, b in zip(freqs, freqs[1:]))
+
+    def test_shaped_never_above_unshaped(self, result):
+        base = result.data["unshaped_f_gamma"]
+        assert all(r["f_gamma"] <= base + 1e-6 for r in result.data["rows"])
+
+    def test_shaper_buffer_grows_with_tightness(self, result):
+        rows = result.data["rows"]
+        buffers = [r["shaper_buffer"] for r in rows]
+        assert all(a <= b + 1e-9 for a, b in zip(buffers, buffers[1:]))
+        assert all(b >= 0.0 for b in buffers)
+
+    def test_tight_shaping_actually_helps(self, result):
+        rows = result.data["rows"]
+        base = result.data["unshaped_f_gamma"]
+        assert rows[-1]["f_gamma"] < base * 0.999

@@ -1,0 +1,131 @@
+"""Unit tests for the synthetic clip generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.workload import WorkloadCurvePair
+from repro.mpeg.bitstream import ClipProfile, SyntheticClip
+from repro.mpeg.macroblock import CodingClass, FrameType
+from repro.util.validation import ValidationError
+
+PROFILE = ClipProfile("test", seed=42, activity=0.6, motion=0.7, texture=0.5)
+
+
+@pytest.fixture(scope="module")
+def clip():
+    c = SyntheticClip(PROFILE, frames=12)
+    c.generate()
+    return c
+
+
+class TestProfile:
+    def test_ranges_validated(self):
+        with pytest.raises(ValidationError):
+            ClipProfile("x", seed=1, activity=1.5, motion=0.5, texture=0.5)
+
+    def test_name_required(self):
+        with pytest.raises(ValidationError):
+            ClipProfile("", seed=1, activity=0.5, motion=0.5, texture=0.5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = SyntheticClip(PROFILE, frames=3).generate()
+        b = SyntheticClip(PROFILE, frames=3).generate()
+        assert np.array_equal(a.pe2_cycles, b.pe2_cycles)
+        assert np.array_equal(a.pe1_output, b.pe1_output)
+
+    def test_different_seeds_differ(self):
+        other = ClipProfile("other", seed=43, activity=0.6, motion=0.7, texture=0.5)
+        a = SyntheticClip(PROFILE, frames=3).generate()
+        b = SyntheticClip(other, frames=3).generate()
+        assert not np.array_equal(a.pe2_cycles, b.pe2_cycles)
+
+    def test_size(self, clip):
+        data = clip.generate()
+        assert data.n_macroblocks == 12 * 1620
+
+    def test_cached(self, clip):
+        assert clip.generate() is clip.generate()
+
+    def test_cbr_total(self, clip):
+        data = clip.generate()
+        rate = data.bits.sum() / clip.duration()
+        assert rate == pytest.approx(9.78e6, rel=0.05)
+
+    def test_i_frames_all_intra(self, clip):
+        data = clip.generate()
+        i_mbs = data.frame_type_code == 0
+        assert np.all(data.coding_code[i_mbs] == 0)
+
+    def test_skipped_have_no_blocks(self, clip):
+        data = clip.generate()
+        skipped = data.coding_code == 2
+        assert np.all(data.coded_blocks[skipped] == 0)
+
+    def test_intra_have_blocks(self, clip):
+        data = clip.generate()
+        intra = data.coding_code == 0
+        assert np.all(data.coded_blocks[intra] >= 1)
+
+    def test_timing_monotone_and_causal(self, clip):
+        data = clip.generate()
+        assert np.all(np.diff(data.bit_arrival) >= 0)
+        assert np.all(np.diff(data.pe1_output) > 0)
+        assert np.all(data.pe1_output >= data.bit_arrival - 1e-12)
+
+    def test_pe1_keeps_up_roughly(self, clip):
+        data = clip.generate()
+        # output ends close to the nominal duration: PE1 is provisioned to
+        # keep up with the CBR front end
+        assert data.pe1_output[-1] < clip.duration() * 1.2
+
+    def test_demands_positive(self, clip):
+        data = clip.generate()
+        assert np.all(data.pe1_cycles > 0)
+        assert np.all(data.pe2_cycles > 0)
+
+
+class TestTraces:
+    def test_pe2_trace_consistent(self):
+        small = SyntheticClip(PROFILE, frames=1)
+        trace = small.pe2_trace()
+        data = small.generate()
+        assert len(trace) == data.n_macroblocks
+        assert np.allclose(trace.measured_demands(), data.pe2_cycles)
+        assert np.allclose(trace.timestamps, data.pe1_output)
+
+    def test_pe1_trace_timestamps_are_bit_arrivals(self):
+        small = SyntheticClip(PROFILE, frames=1)
+        trace = small.pe1_trace()
+        data = small.generate()
+        assert np.allclose(trace.timestamps, data.bit_arrival)
+
+    def test_demands_within_profile_intervals(self):
+        # EventTrace validates every event against the profile intervals
+        small = SyntheticClip(PROFILE, frames=2)
+        small.pe1_trace()
+        small.pe2_trace()  # would raise on violation
+
+    def test_macroblock_objects(self):
+        small = SyntheticClip(PROFILE, frames=1)
+        mbs = list(small.macroblocks())
+        assert len(mbs) == 1620
+        assert all(mb.frame_type is FrameType.I for mb in mbs)  # first frame
+
+    def test_workload_curve_extraction(self):
+        small = SyntheticClip(PROFILE, frames=2)
+        data = small.generate()
+        pair = WorkloadCurvePair.from_demand_array(data.pe2_cycles)
+        assert pair.wcet == pytest.approx(data.pe2_cycles.max())
+        assert pair.bcet == pytest.approx(data.pe2_cycles.min())
+
+
+class TestScaling:
+    def test_custom_mb_per_frame(self):
+        tiny = SyntheticClip(PROFILE, frames=2, mb_per_frame=99)
+        assert tiny.generate().n_macroblocks == 198
+
+    def test_frames_validated(self):
+        with pytest.raises(ValidationError):
+            SyntheticClip(PROFILE, frames=0)

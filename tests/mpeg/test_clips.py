@@ -1,0 +1,37 @@
+"""Unit tests for the 14 standard clip presets."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg.clips import CLIP_PROFILES, standard_clips
+
+
+class TestClipPresets:
+    def test_fourteen_clips(self):
+        assert len(CLIP_PROFILES) == 14
+
+    def test_unique_names_and_seeds(self):
+        names = [p.name for p in CLIP_PROFILES]
+        seeds = [p.seed for p in CLIP_PROFILES]
+        assert len(set(names)) == 14
+        assert len(set(seeds)) == 14
+
+    def test_diversity(self):
+        activities = [p.activity for p in CLIP_PROFILES]
+        motions = [p.motion for p in CLIP_PROFILES]
+        assert max(activities) - min(activities) > 0.5
+        assert max(motions) - min(motions) > 0.5
+
+    def test_standard_clips_factory(self):
+        clips = standard_clips(frames=2)
+        assert len(clips) == 14
+        assert all(c.frames == 2 for c in clips)
+
+    def test_kwargs_forwarded(self):
+        clips = standard_clips(frames=2, mb_per_frame=45)
+        assert clips[0].generate().n_macroblocks == 90
+
+    def test_busy_clips_demand_more(self):
+        quiet = standard_clips(frames=6)[0]   # talking-head
+        busy = standard_clips(frames=6)[11]   # motor-race
+        assert busy.generate().pe2_cycles.mean() > quiet.generate().pe2_cycles.mean()

@@ -1,0 +1,50 @@
+"""Unit tests for the GOP structure."""
+
+import pytest
+
+from repro.mpeg.gop import GopStructure
+from repro.mpeg.macroblock import FrameType
+from repro.util.validation import ValidationError
+
+
+class TestGop:
+    def test_default_display_order(self):
+        gop = GopStructure()
+        pattern = "".join(ft.value for ft in gop.display_order())
+        assert pattern == "IBBPBBPBBPBB"
+
+    def test_coded_order_anchors_first(self):
+        gop = GopStructure()
+        pattern = "".join(ft.value for ft in gop.coded_order())
+        assert pattern == "IPBBPBBPBBBB"[: len(pattern)] or pattern.startswith("IP")
+        # each B in coded order must be preceded by its anchors: first two
+        # frames are I then P (the B-frames displayed between them follow)
+        assert pattern[0] == "I"
+        assert pattern[1] == "P"
+        assert pattern.count("B") == 8
+
+    def test_frames_per_gop(self):
+        counts = GopStructure().frames_per_gop
+        assert counts[FrameType.I] == 1
+        assert counts[FrameType.P] == 3
+        assert counts[FrameType.B] == 8
+
+    def test_m1_no_b_frames(self):
+        gop = GopStructure(n=6, m=1)
+        pattern = "".join(ft.value for ft in gop.display_order())
+        assert pattern == "IPPPPP"
+        assert gop.coded_order() == gop.display_order()
+
+    def test_frame_types_repeats_pattern(self):
+        gop = GopStructure(n=4, m=2)
+        types = gop.frame_types(10, order="display")
+        assert len(types) == 10
+        assert types[0] == types[4] == types[8] == FrameType.I
+
+    def test_n_multiple_of_m_required(self):
+        with pytest.raises(ValidationError):
+            GopStructure(n=10, m=3)
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(ValidationError):
+            GopStructure().frame_types(5, order="sideways")

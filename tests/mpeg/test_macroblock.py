@@ -1,0 +1,73 @@
+"""Unit tests for repro.mpeg.macroblock."""
+
+import pytest
+
+from repro.mpeg.macroblock import (
+    MACROBLOCKS_PER_FRAME_PAL,
+    CodingClass,
+    FrameType,
+    Macroblock,
+)
+from repro.util.validation import ValidationError
+
+
+def make_mb(**overrides):
+    defaults = dict(
+        frame_index=0,
+        index_in_frame=0,
+        frame_type=FrameType.P,
+        coding=CodingClass.INTER,
+        coded_blocks=3,
+        motion_complexity=0.5,
+        texture_complexity=0.4,
+        bits=200.0,
+    )
+    defaults.update(overrides)
+    return Macroblock(**defaults)
+
+
+class TestMacroblock:
+    def test_pal_constant(self):
+        assert MACROBLOCKS_PER_FRAME_PAL == 1620  # 45 x 36 for 720x576
+
+    def test_valid(self):
+        mb = make_mb()
+        assert mb.type_name == "P/inter"
+
+    def test_coded_blocks_bounds(self):
+        with pytest.raises(ValidationError, match="<= 6"):
+            make_mb(coded_blocks=7)
+
+    def test_intra_needs_coefficients(self):
+        with pytest.raises(ValidationError, match="always carry"):
+            make_mb(coding=CodingClass.INTRA, coded_blocks=0, motion_complexity=0.0)
+
+    def test_skipped_carries_none(self):
+        with pytest.raises(ValidationError, match="no coefficients"):
+            make_mb(coding=CodingClass.SKIPPED, coded_blocks=1)
+
+    def test_no_skipped_in_i_frames(self):
+        with pytest.raises(ValidationError, match="I-frames"):
+            make_mb(
+                frame_type=FrameType.I,
+                coding=CodingClass.SKIPPED,
+                coded_blocks=0,
+                motion_complexity=0.1,
+            )
+
+    def test_intra_has_no_motion(self):
+        with pytest.raises(ValidationError, match="no motion"):
+            make_mb(coding=CodingClass.INTRA, coded_blocks=2, motion_complexity=0.5)
+
+    def test_motion_range(self):
+        with pytest.raises(ValidationError):
+            make_mb(motion_complexity=1.5)
+
+    def test_type_name_alphabet(self):
+        mb = make_mb(
+            frame_type=FrameType.B,
+            coding=CodingClass.SKIPPED,
+            coded_blocks=0,
+            motion_complexity=0.1,
+        )
+        assert mb.type_name == "B/skipped"

@@ -1,0 +1,41 @@
+"""Unit tests for clip statistics."""
+
+import pytest
+
+from repro.mpeg.stats import clip_statistics
+from repro.util.validation import ValidationError
+
+
+class TestClipStatistics:
+    def test_basic_aggregates(self, small_clip):
+        stats = clip_statistics(small_clip)
+        data = small_clip.generate()
+        assert stats.n_macroblocks == data.n_macroblocks
+        assert stats.mean_pe2_cycles == pytest.approx(data.pe2_cycles.mean())
+        assert stats.max_pe2_cycles == pytest.approx(data.pe2_cycles.max())
+        assert stats.wcet_over_mean > 1.5
+
+    def test_cbr_rate(self, small_clip):
+        stats = clip_statistics(small_clip)
+        assert stats.bit_rate == pytest.approx(9.78e6, rel=0.06)
+
+    def test_frame_type_breakdown(self, small_clip):
+        stats = clip_statistics(small_clip)
+        by_type = {s.frame_type: s for s in stats.per_frame_type}
+        assert set(by_type) == {"I", "P", "B"}
+        # I-frames are all intra and carry the most bits per macroblock
+        assert by_type["I"].coding_mix["intra"] == pytest.approx(1.0)
+        assert by_type["I"].mean_bits > by_type["B"].mean_bits
+
+    def test_macroblock_counts_sum(self, small_clip):
+        stats = clip_statistics(small_clip)
+        assert sum(s.macroblocks for s in stats.per_frame_type) == stats.n_macroblocks
+
+    def test_render_contains_table(self, small_clip):
+        text = clip_statistics(small_clip).render()
+        assert "frame type" in text
+        assert small_clip.profile.name in text
+
+    def test_type_checked(self):
+        with pytest.raises(ValidationError):
+            clip_statistics("not a clip")

@@ -1,0 +1,82 @@
+"""Unit tests for the EDF processor-demand tests."""
+
+import math
+
+import pytest
+
+from repro.core.analytical import PollingTask
+from repro.scheduling.edf import (
+    demand_bound_classic,
+    demand_bound_curves,
+    edf_test_classic,
+    edf_test_curves,
+)
+from repro.scheduling.simulator import simulate
+from repro.scheduling.task import PeriodicTask, TaskSet
+
+
+@pytest.fixture
+def variable_set():
+    polling = PollingTask(2.0, 6.0, 10.0, e_p=1.8, e_c=0.3)
+    return TaskSet(
+        [
+            PeriodicTask("poll", 2.0, 1.8, curves=polling.curves(512)),
+            PeriodicTask("bg1", 5.0, 1.5),
+            PeriodicTask("bg2", 10.0, 2.5),
+        ]
+    )
+
+
+class TestDemandBound:
+    def test_zero_before_first_deadline(self):
+        t = PeriodicTask("a", 10.0, 2.0, deadline=6.0)
+        assert demand_bound_classic(t, 5.9) == 0.0
+
+    def test_steps_at_deadlines(self):
+        t = PeriodicTask("a", 10.0, 2.0, deadline=6.0)
+        assert demand_bound_classic(t, 6.0) == 2.0
+        assert demand_bound_classic(t, 15.9) == 2.0
+        assert demand_bound_classic(t, 16.0) == 4.0
+
+    def test_curve_bound_below_classic(self, variable_set):
+        poll = variable_set.by_name("poll")
+        for t in [2.0, 6.0, 10.0, 20.0, 50.0]:
+            assert demand_bound_curves(poll, t) <= demand_bound_classic(poll, t) + 1e-12
+
+
+class TestEdfTests:
+    def test_implicit_deadline_utilization_equivalence(self):
+        ts = TaskSet([PeriodicTask("a", 4.0, 2.0), PeriodicTask("b", 8.0, 4.0)])
+        result = edf_test_classic(ts)
+        assert result.schedulable
+        assert result.max_load == pytest.approx(1.0)
+
+    def test_overload_detected(self):
+        ts = TaskSet([PeriodicTask("a", 2.0, 1.5), PeriodicTask("b", 3.0, 2.0)])
+        result = edf_test_classic(ts)
+        assert not result.schedulable
+        assert math.isinf(result.critical_t)
+
+    def test_curves_recover_schedulability(self, variable_set):
+        assert not edf_test_classic(variable_set).schedulable
+        result = edf_test_curves(variable_set)
+        assert result.schedulable
+
+    def test_curves_never_worse(self, variable_set):
+        classic = edf_test_classic(variable_set)
+        curves = edf_test_curves(variable_set)
+        assert curves.max_load <= classic.max_load + 1e-12
+
+    def test_simulation_validates_curve_verdict(self, variable_set):
+        result = simulate(
+            variable_set,
+            400.0,
+            demands={"poll": lambda i: 1.8 if i % 3 == 0 else 0.3},
+            policy="edf",
+        )
+        assert result.deadline_misses() == 0
+
+    def test_explicit_horizon(self, variable_set):
+        result = edf_test_curves(variable_set, horizon=40.0)
+        assert result.schedulable
+        assert result.critical_t <= 40.0

@@ -1,0 +1,76 @@
+"""Unit tests for response-time analysis."""
+
+import math
+
+import pytest
+
+from repro.core.analytical import PollingTask
+from repro.scheduling.response_time import response_times_classic, response_times_curves
+from repro.scheduling.simulator import simulate
+from repro.scheduling.task import PeriodicTask, TaskSet
+
+
+@pytest.fixture
+def textbook_set():
+    return TaskSet(
+        [
+            PeriodicTask("t1", 4.0, 1.0),
+            PeriodicTask("t2", 5.0, 2.0),
+            PeriodicTask("t3", 20.0, 3.0),
+        ]
+    )
+
+
+class TestClassic:
+    def test_textbook_values(self, textbook_set):
+        result = response_times_classic(textbook_set)
+        # R1 = 1; R2 = 2 + ceil(R2/4)*1 -> 3; R3: 3 + interference -> 10
+        assert result.response_times == pytest.approx((1.0, 3.0, 10.0))
+        assert result.schedulable
+
+    def test_matches_simulation(self, textbook_set):
+        result = response_times_classic(textbook_set)
+        sim = simulate(textbook_set, textbook_set.hyperperiod() * 2)
+        for i, task in enumerate(textbook_set):
+            assert sim.max_response_time(task.name) == pytest.approx(
+                result.response_times[i]
+            )
+
+    def test_unschedulable_returns_inf(self):
+        ts = TaskSet([PeriodicTask("a", 2.0, 1.5), PeriodicTask("b", 4.0, 2.0)])
+        result = response_times_classic(ts)
+        assert math.isinf(result.response_times[1])
+        assert not result.schedulable
+
+
+class TestCurves:
+    @pytest.fixture
+    def variable_set(self):
+        polling = PollingTask(2.0, 6.0, 10.0, e_p=1.8, e_c=0.3)
+        return TaskSet(
+            [
+                PeriodicTask("poll", 2.0, 1.8, curves=polling.curves(256)),
+                PeriodicTask("bg1", 5.0, 1.5),
+                PeriodicTask("bg2", 10.0, 2.5),
+            ]
+        )
+
+    def test_never_worse(self, variable_set):
+        classic = response_times_classic(variable_set)
+        curves = response_times_curves(variable_set)
+        for rc, rw in zip(curves.response_times, classic.response_times):
+            assert rc <= rw + 1e-9
+
+    def test_curves_recover_schedulability(self, variable_set):
+        assert not response_times_classic(variable_set).schedulable
+        assert response_times_curves(variable_set).schedulable
+
+    def test_simulation_bounded_by_analysis(self, variable_set):
+        curves = response_times_curves(variable_set)
+        sim = simulate(
+            variable_set,
+            400.0,
+            demands={"poll": lambda i: 1.8 if i % 3 == 0 else 0.3},
+        )
+        for i, task in enumerate(variable_set):
+            assert sim.max_response_time(task.name) <= curves.response_times[i] + 1e-9

@@ -1,0 +1,121 @@
+"""Unit tests for the Lehoczky RMS tests (paper eqs. (3)-(5))."""
+
+import numpy as np
+import pytest
+
+from repro.core.analytical import PollingTask
+from repro.scheduling.rms import (
+    cumulative_demand_classic,
+    cumulative_demand_curves,
+    liu_layland_bound,
+    liu_layland_test,
+    rms_test_classic,
+    rms_test_curves,
+    scheduling_points,
+)
+from repro.scheduling.task import PeriodicTask, TaskSet
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def textbook_set():
+    # classic Lehoczky example-style set, schedulable, U = 0.85
+    return TaskSet(
+        [
+            PeriodicTask("t1", 4.0, 1.0),
+            PeriodicTask("t2", 5.0, 2.0),
+            PeriodicTask("t3", 20.0, 3.0),
+        ]
+    )
+
+
+@pytest.fixture
+def variable_set():
+    polling = PollingTask(period=2.0, theta_min=6.0, theta_max=10.0, e_p=1.8, e_c=0.3)
+    return TaskSet(
+        [
+            PeriodicTask("poll", 2.0, 1.8, curves=polling.curves(256)),
+            PeriodicTask("bg1", 5.0, 1.5),
+            PeriodicTask("bg2", 10.0, 2.5),
+        ]
+    )
+
+
+class TestSchedulingPoints:
+    def test_contains_own_period(self, textbook_set):
+        assert textbook_set[0].period in scheduling_points(textbook_set, 0)
+
+    def test_multiples_of_shorter_periods(self, textbook_set):
+        pts = scheduling_points(textbook_set, 2)
+        for expected in [4.0, 8.0, 12.0, 16.0, 20.0, 5.0, 10.0, 15.0]:
+            assert expected in pts
+
+    def test_index_range_checked(self, textbook_set):
+        with pytest.raises(ValidationError):
+            scheduling_points(textbook_set, 5)
+
+
+class TestClassic:
+    def test_textbook_schedulable(self, textbook_set):
+        result = rms_test_classic(textbook_set)
+        assert result.schedulable
+        assert result.load <= 1.0
+
+    def test_highest_priority_load(self, textbook_set):
+        result = rms_test_classic(textbook_set)
+        # L_1 = C_1/T_1
+        assert result.per_task_load[0] == pytest.approx(0.25)
+
+    def test_overloaded_set_rejected(self):
+        ts = TaskSet([PeriodicTask("a", 2.0, 1.5), PeriodicTask("b", 3.0, 2.0)])
+        assert not rms_test_classic(ts).schedulable
+
+    def test_demand_function_at_points(self, textbook_set):
+        # W_2(5) = C1*ceil(5/4) + C2*ceil(5/5) = 2 + 2 = 4
+        assert cumulative_demand_classic(textbook_set, 1, 5.0) == pytest.approx(4.0)
+
+    def test_demand_at_exact_multiple(self, textbook_set):
+        # t=8: ceil(8/4)=2 jobs of t1
+        assert cumulative_demand_classic(textbook_set, 0, 8.0) == pytest.approx(2.0)
+
+
+class TestCurves:
+    def test_never_worse_than_classic(self, variable_set):
+        classic = rms_test_classic(variable_set)
+        curves = rms_test_curves(variable_set)
+        for lc, lw in zip(curves.per_task_load, classic.per_task_load):
+            assert lc <= lw + 1e-12
+
+    def test_gains_schedulability(self, variable_set):
+        assert not rms_test_classic(variable_set).schedulable
+        assert rms_test_curves(variable_set).schedulable
+
+    def test_equal_without_curves(self, textbook_set):
+        classic = rms_test_classic(textbook_set)
+        curves = rms_test_curves(textbook_set)
+        assert np.allclose(classic.per_task_load, curves.per_task_load)
+
+    def test_demand_uses_curve(self, variable_set):
+        # 3 arrivals of poll in (0, 6]: gamma_u(3) = 2*1.8 + 0.3 = 3.9 < 5.4
+        demand = cumulative_demand_curves(variable_set, 0, 6.0)
+        assert demand == pytest.approx(3.9)
+
+
+class TestLiuLayland:
+    def test_bound_values(self):
+        assert liu_layland_bound(1) == pytest.approx(1.0)
+        assert liu_layland_bound(2) == pytest.approx(2 * (2 ** 0.5 - 1))
+        assert liu_layland_bound(3) == pytest.approx(3 * (2 ** (1 / 3) - 1))
+
+    def test_bound_decreasing(self):
+        values = [liu_layland_bound(n) for n in range(1, 10)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_sufficient_not_necessary(self, textbook_set):
+        # U = 0.85 > LL bound for n=3 (0.78) but the exact test accepts
+        assert not liu_layland_test(textbook_set)
+        assert rms_test_classic(textbook_set).schedulable
+
+    def test_rejects_n_zero(self):
+        with pytest.raises(ValidationError):
+            liu_layland_bound(0)

@@ -1,0 +1,113 @@
+"""Tests for sensitivity analysis (demand/frequency scaling factors)."""
+
+import pytest
+
+from repro.core.analytical import PollingTask
+from repro.scheduling.rms import rms_test_classic, rms_test_curves
+from repro.scheduling.sensitivity import demand_scaling_factor, frequency_scaling_factor
+from repro.scheduling.task import PeriodicTask, TaskSet
+from repro.util.validation import ValidationError
+
+
+@pytest.fixture
+def slack_set():
+    return TaskSet(
+        [
+            PeriodicTask("t1", 4.0, 0.5),
+            PeriodicTask("t2", 8.0, 1.0),
+        ]
+    )
+
+
+@pytest.fixture
+def variable_set():
+    polling = PollingTask(2.0, 6.0, 10.0, e_p=1.8, e_c=0.3)
+    return TaskSet(
+        [
+            PeriodicTask("poll", 2.0, 1.8, curves=polling.curves(256)),
+            PeriodicTask("bg1", 5.0, 1.2),
+            PeriodicTask("bg2", 10.0, 2.0),
+        ]
+    )
+
+
+class TestDemandScaling:
+    def test_scaled_set_still_schedulable(self, slack_set):
+        factor = demand_scaling_factor(slack_set, "t2", method="classic")
+        assert factor > 1.0
+        scaled = TaskSet(
+            [
+                PeriodicTask("t1", 4.0, 0.5),
+                PeriodicTask("t2", 8.0, min(1.0 * factor * 0.999, 8.0)),
+            ]
+        )
+        assert rms_test_classic(scaled).schedulable
+
+    def test_boundary_is_tight(self, slack_set):
+        factor = demand_scaling_factor(slack_set, "t2", method="classic", precision=1e-5)
+        over = TaskSet(
+            [
+                PeriodicTask("t1", 4.0, 0.5),
+                PeriodicTask("t2", 8.0, min(1.0 * (factor + 0.01), 8.0)),
+            ]
+        )
+        assert not rms_test_classic(over).schedulable
+
+    def test_curves_admit_more_scaling(self, variable_set):
+        classic = demand_scaling_factor(variable_set, "bg2", method="classic")
+        curves = demand_scaling_factor(variable_set, "bg2", method="workload-curves")
+        assert curves >= classic
+
+    def test_unknown_task_rejected(self, slack_set):
+        with pytest.raises(KeyError):
+            demand_scaling_factor(slack_set, "nope")
+
+    def test_overloaded_background_gives_zero(self):
+        # the two hogs overload every scheduling point of the victim, so
+        # even a vanishing victim demand cannot be accommodated
+        ts = TaskSet(
+            [
+                PeriodicTask("hog1", 2.0, 1.2),
+                PeriodicTask("hog2", 3.0, 1.3),
+                PeriodicTask("victim", 6.0, 1.0),
+            ]
+        )
+        assert demand_scaling_factor(ts, "victim", method="classic") == 0.0
+
+    def test_deadline_caps_scaling(self):
+        ts = TaskSet([PeriodicTask("solo", 10.0, 2.0, deadline=5.0)])
+        factor = demand_scaling_factor(ts, "solo", method="classic")
+        assert factor == pytest.approx(2.5, abs=1e-3)  # wcet capped at D=5
+
+
+class TestFrequencyScaling:
+    def test_inverse_of_load(self, slack_set):
+        factor = frequency_scaling_factor(slack_set, method="classic")
+        assert factor == pytest.approx(1.0 / rms_test_classic(slack_set).load)
+
+    def test_curves_allow_slower_clock(self, variable_set):
+        classic = frequency_scaling_factor(variable_set, method="classic")
+        curves = frequency_scaling_factor(variable_set, method="workload-curves")
+        assert curves > classic
+
+    def test_homogeneity_validated(self, variable_set):
+        """Scaling every demand by the factor brings the load to exactly 1."""
+        factor = frequency_scaling_factor(variable_set, method="workload-curves")
+        from repro.core.workload import WorkloadCurvePair
+
+        scaled = []
+        for t in variable_set:
+            curves = None
+            if t.curves is not None:
+                curves = WorkloadCurvePair(
+                    t.curves.upper.scale(factor), t.curves.lower.scale(factor)
+                )
+            scaled.append(
+                PeriodicTask(t.name, t.period, t.wcet * factor, curves=curves)
+            )
+        load = rms_test_curves(TaskSet(scaled)).load
+        assert load == pytest.approx(1.0, rel=1e-9)
+
+    def test_unknown_method_rejected(self, slack_set):
+        with pytest.raises(ValidationError):
+            frequency_scaling_factor(slack_set, method="magic")

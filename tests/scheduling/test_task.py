@@ -1,0 +1,84 @@
+"""Unit tests for repro.scheduling.task."""
+
+import pytest
+
+from repro.core.analytical import PollingTask
+from repro.scheduling.task import PeriodicTask, TaskSet
+from repro.util.validation import ValidationError
+
+
+class TestPeriodicTask:
+    def test_defaults(self):
+        t = PeriodicTask("t", 10.0, 2.0)
+        assert t.deadline == 10.0
+        assert t.utilization == pytest.approx(0.2)
+
+    def test_deadline_constrained(self):
+        t = PeriodicTask("t", 10.0, 2.0, deadline=5.0)
+        assert t.deadline == 5.0
+
+    def test_deadline_beyond_period_rejected(self):
+        with pytest.raises(ValidationError, match="deadline"):
+            PeriodicTask("t", 10.0, 2.0, deadline=11.0)
+
+    def test_wcet_beyond_deadline_rejected(self):
+        with pytest.raises(ValidationError):
+            PeriodicTask("t", 10.0, 6.0, deadline=5.0)
+
+    def test_curves_wcet_consistency(self):
+        curves = PollingTask(1.0, 3.0, 5.0, 8.0, 2.0).curves(16)
+        with pytest.raises(ValidationError, match="exceeds declared wcet"):
+            PeriodicTask("t", 10.0, 5.0, curves=curves)  # gamma_u(1)=8 > 5
+
+    def test_demand_upper_with_curves(self):
+        curves = PollingTask(1.0, 3.0, 5.0, 8.0, 2.0).curves(16)
+        t = PeriodicTask("t", 10.0, 8.0, curves=curves)
+        assert t.demand_upper(0) == 0.0
+        assert t.demand_upper(1) == 8.0
+        assert t.demand_upper(3) == 18.0  # 2 heavy + 1 light
+
+    def test_demand_upper_without_curves(self):
+        t = PeriodicTask("t", 10.0, 2.0)
+        assert t.demand_upper(4) == 8.0
+
+    def test_long_run_utilization(self):
+        curves = PollingTask(1.0, 3.0, 5.0, 8.0, 2.0).curves(64)
+        t = PeriodicTask("t", 10.0, 8.0, curves=curves)
+        assert t.long_run_utilization < t.utilization
+
+
+class TestTaskSet:
+    def test_rate_monotonic_order(self):
+        ts = TaskSet([PeriodicTask("slow", 20, 1), PeriodicTask("fast", 5, 1)])
+        assert [t.name for t in ts] == ["fast", "slow"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError, match="unique"):
+            TaskSet([PeriodicTask("x", 5, 1), PeriodicTask("x", 10, 1)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            TaskSet([])
+
+    def test_total_utilization(self):
+        ts = TaskSet([PeriodicTask("a", 4, 1), PeriodicTask("b", 8, 2)])
+        assert ts.total_utilization == pytest.approx(0.5)
+
+    def test_hyperperiod(self):
+        ts = TaskSet([PeriodicTask("a", 4, 1), PeriodicTask("b", 6, 1)])
+        assert ts.hyperperiod() == pytest.approx(12.0)
+
+    def test_hyperperiod_fractional_periods(self):
+        ts = TaskSet([PeriodicTask("a", 0.5, 0.1), PeriodicTask("b", 0.75, 0.1)])
+        assert ts.hyperperiod() == pytest.approx(1.5)
+
+    def test_by_name(self):
+        ts = TaskSet([PeriodicTask("a", 4, 1)])
+        assert ts.by_name("a").period == 4
+        with pytest.raises(KeyError):
+            ts.by_name("zz")
+
+    def test_indexing(self):
+        ts = TaskSet([PeriodicTask("a", 4, 1), PeriodicTask("b", 8, 1)])
+        assert ts[0].name == "a"
+        assert len(ts) == 2

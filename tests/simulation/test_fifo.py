@@ -1,0 +1,68 @@
+"""Unit tests for the FIFO model."""
+
+import pytest
+
+from repro.simulation.fifo import Fifo
+from repro.util.validation import ValidationError
+
+
+class TestFifo:
+    def test_push_and_serve_order(self):
+        f: Fifo[int] = Fifo(4)
+        f.push(1)
+        f.push(2)
+        assert f.start_service() == 1
+        assert f.start_service() == 2
+
+    def test_occupancy_includes_in_service(self):
+        f: Fifo[int] = Fifo(4)
+        f.push(1)
+        f.push(2)
+        f.start_service()
+        assert f.occupancy == 2
+        assert f.queued == 1
+        f.finish_service()
+        assert f.occupancy == 1
+
+    def test_max_occupancy_tracked(self):
+        f: Fifo[int] = Fifo(10)
+        for i in range(5):
+            f.push(i)
+        for _ in range(5):
+            f.start_service()
+            f.finish_service()
+        assert f.max_occupancy == 5
+
+    def test_overflow_recorded_not_dropped(self):
+        f: Fifo[int] = Fifo(2)
+        for i in range(4):
+            f.push(i)
+        assert f.overflow_count == 2
+        assert f.occupancy == 4  # nothing dropped
+        assert f.total_pushed == 4
+
+    def test_unbounded(self):
+        f: Fifo[int] = Fifo(None)
+        for i in range(100):
+            f.push(i)
+        assert f.overflow_count == 0
+
+    def test_start_on_empty_rejected(self):
+        f: Fifo[int] = Fifo(2)
+        with pytest.raises(ValidationError):
+            f.start_service()
+
+    def test_finish_without_start_rejected(self):
+        f: Fifo[int] = Fifo(2)
+        f.push(1)
+        with pytest.raises(ValidationError):
+            f.finish_service()
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValidationError):
+            Fifo(0)
+
+    def test_len(self):
+        f: Fifo[int] = Fifo(3)
+        f.push(1)
+        assert len(f) == 1

@@ -1,0 +1,79 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.simulation.kernel import Simulator
+from repro.util.validation import ValidationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(2.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.run()
+        assert log == ["a", "b"]
+        assert sim.now == 2.0
+
+    def test_ties_broken_by_priority_then_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append("later"))
+        sim.schedule(1.0, lambda: log.append("first"), priority=-1)
+        sim.schedule(1.0, lambda: log.append("last"))
+        sim.run()
+        assert log == ["first", "later", "last"]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        log = []
+
+        def chain():
+            log.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule_in(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert log == [1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule(1.0, lambda: None))
+        with pytest.raises(ValidationError, match="past"):
+            sim.run()
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+        sim.run()
+        assert log == [1, 10]
+
+    def test_reentrant_run_rejected(self):
+        sim = Simulator()
+        error = []
+
+        def recurse():
+            try:
+                sim.run()
+            except ValidationError:
+                error.append(True)
+
+        sim.schedule(1.0, recurse)
+        sim.run()
+        assert error == [True]
+
+    def test_pending_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0

@@ -1,0 +1,52 @@
+"""Unit tests for the processing-element model."""
+
+import pytest
+
+from repro.simulation.pe import ProcessingElement
+from repro.util.validation import ValidationError
+
+
+class TestProcessingElement:
+    def test_service_time(self):
+        pe = ProcessingElement("PE2", 100e6)
+        assert pe.service_time(1e6) == pytest.approx(0.01)
+
+    def test_start_sets_busy(self):
+        pe = ProcessingElement("PE2", 10.0)
+        done = pe.start(0.0, 20.0)
+        assert done == pytest.approx(2.0)
+        assert not pe.is_idle_at(1.0)
+        assert pe.is_idle_at(2.0)
+
+    def test_start_while_busy_rejected(self):
+        pe = ProcessingElement("PE2", 10.0)
+        pe.start(0.0, 20.0)
+        with pytest.raises(ValidationError, match="busy"):
+            pe.start(1.0, 5.0)
+
+    def test_sequential_items(self):
+        pe = ProcessingElement("PE2", 10.0)
+        done1 = pe.start(0.0, 10.0)
+        done2 = pe.start(done1, 10.0)
+        assert done2 == pytest.approx(2.0)
+        assert pe.items_processed == 2
+        assert pe.busy_time == pytest.approx(2.0)
+
+    def test_utilization(self):
+        pe = ProcessingElement("PE2", 10.0)
+        pe.start(0.0, 10.0)
+        assert pe.utilization(4.0) == pytest.approx(0.25)
+
+    def test_idle_gap_counted(self):
+        pe = ProcessingElement("PE2", 10.0)
+        pe.start(0.0, 10.0)     # busy [0, 1)
+        pe.start(5.0, 10.0)     # busy [5, 6)
+        assert pe.busy_time == pytest.approx(2.0)
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ValidationError):
+            ProcessingElement("x", 0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValidationError):
+            ProcessingElement("", 10.0)

@@ -1,0 +1,34 @@
+"""Tests for the command-line entry point (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_default_runs_light_set(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out and "[E2]" in out and "[E3]" in out
+        assert "gamma_b(3, 4) = 5" in out
+
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert "E5" in out and "A2" in out
+
+    def test_specific_experiment(self, capsys):
+        assert main(["E2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["E99"])
+
+    def test_case_study_with_reduced_frames(self, capsys, small_context):
+        # small_context pre-warms the 12-frame cache... the CLI uses its own
+        # frames argument; run the cheapest heavy experiment at 12 frames
+        assert main(["E5", "--frames", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "Minimum PE2 clock frequency" in out

@@ -1,0 +1,61 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 600.0) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "gamma_b(3, 4) = 5.0" in out
+        assert "invariant audit: OK" in out
+
+    def test_polling_task(self):
+        out = run_example("polling_task.py")
+        assert "brute-force validation over random admissible patterns: OK" in out
+
+    def test_rms_analysis(self):
+        out = run_example("rms_analysis.py")
+        assert "curves  verdict: schedulable" in out
+        assert "deadline misses: 0" in out
+
+    def test_streaming_shaper(self):
+        out = run_example("streaming_shaper.py")
+        assert "backlog bound: 15.00" in out
+        assert "pay-bursts-only-once" in out
+
+    def test_design_space(self):
+        out = run_example("design_space.py")
+        assert "curves test:  accept" in out
+        assert "0 deadline misses" in out
+
+    @pytest.mark.slow
+    def test_mpeg2_decoder_reduced(self):
+        out = run_example("mpeg2_decoder.py", "12")
+        assert "no clip overflowed" in out
+
+    @pytest.mark.slow
+    def test_buffer_sizing(self):
+        out = run_example("buffer_sizing.py")
+        assert "guarantee held" in out
+
+    @pytest.mark.slow
+    def test_two_pe_chain(self):
+        out = run_example("two_pe_chain.py")
+        assert "dominates the measured trace curve: True" in out

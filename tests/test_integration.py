@@ -1,0 +1,135 @@
+"""Cross-module integration tests: the full analysis chains of the paper.
+
+These verify the end-to-end contracts between substrates rather than any
+single module: analytic bounds vs discrete-event simulation, profile-based
+vs measured curves, and the complete §3.2 pipeline on a reduced case study.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    backlog_bound_events,
+    minimum_buffer_curves,
+    minimum_frequency_curves,
+    minimum_frequency_wcet,
+    verify_service_constraint,
+)
+from repro.core import (
+    EventTrace,
+    PollingTask,
+    WorkloadCurve,
+    WorkloadCurvePair,
+    check_bounds_trace,
+)
+from repro.curves import from_trace_upper, full_processor
+from repro.scheduling import (
+    PeriodicTask,
+    TaskSet,
+    response_times_curves,
+    rms_test_curves,
+    simulate,
+)
+from repro.simulation import replay_pipeline, simulate_pipeline
+
+
+class TestProfileVsMeasuredCurves:
+    """Interval-based curves must dominate measured curves of any trace
+    drawn from the same profile (§2.1's two construction modes)."""
+
+    def test_mpeg_clip(self, small_clip):
+        trace = small_clip.pe2_trace()
+        measured = WorkloadCurvePair.from_trace(trace, demands="measured")
+        interval = WorkloadCurvePair.from_trace(trace, demands="interval")
+        ks = np.arange(1, 200, 13)
+        assert np.all(interval.upper(ks) >= measured.upper(ks) - 1e-6)
+        assert np.all(interval.lower(ks) <= measured.lower(ks) + 1e-6)
+        assert check_bounds_trace(interval, trace, demands="measured").ok
+
+
+class TestSchedulingChain:
+    """Analytic schedulability (workload curves) vs scheduler simulation."""
+
+    def test_admitted_set_never_misses_under_any_admissible_rotation(self):
+        polling = PollingTask(2.0, 6.0, 10.0, e_p=1.8, e_c=0.3)
+        tasks = TaskSet(
+            [
+                PeriodicTask("poll", 2.0, 1.8, curves=polling.curves(256)),
+                PeriodicTask("bg1", 5.0, 1.5),
+                PeriodicTask("bg2", 10.0, 2.5),
+            ]
+        )
+        assert rms_test_curves(tasks).schedulable
+        rt = response_times_curves(tasks)
+        for phase in range(3):
+            sim = simulate(
+                tasks,
+                200.0,
+                demands={"poll": lambda i, p=phase: 1.8 if (i + p) % 3 == 0 else 0.3},
+            )
+            assert sim.deadline_misses() == 0
+            for i, task in enumerate(tasks):
+                assert sim.max_response_time(task.name) <= rt.response_times[i] + 1e-9
+
+
+class TestStreamingChain:
+    """The full §3.2 chain on one clip: curves → F bound → simulation."""
+
+    @pytest.fixture(scope="class")
+    def chain(self, small_clip):
+        data = small_clip.generate()
+        gamma_u = WorkloadCurve.from_demand_array(data.pe2_cycles, "upper")
+        alpha = from_trace_upper(data.pe1_output)
+        return data, gamma_u, alpha
+
+    def test_frequency_bound_safe_and_tightish(self, chain):
+        data, gamma_u, alpha = chain
+        b = 810
+        fg = minimum_frequency_curves(alpha, gamma_u, b)
+        fw = minimum_frequency_wcet(alpha, gamma_u.per_activation_bound, b)
+        assert fg.frequency <= fw.frequency
+        # safe: no overflow at the bound
+        sim = replay_pipeline(data.pe1_output, data.pe2_cycles,
+                              fg.frequency * 1.0001, capacity=b)
+        assert not sim.overflowed
+        # not vacuous: well below the bound the buffer overflows
+        sim_low = replay_pipeline(
+            data.pe1_output, data.pe2_cycles,
+            data.pe2_cycles.sum() / data.pe1_output[-1] * 0.8, capacity=b,
+        )
+        assert sim_low.overflowed
+
+    def test_eq8_constraint_equivalence(self, chain):
+        data, gamma_u, alpha = chain
+        b = 810
+        fg = minimum_frequency_curves(alpha, gamma_u, b)
+        assert verify_service_constraint(alpha, gamma_u, b, fg.frequency * 1.001)
+        assert not verify_service_constraint(alpha, gamma_u, b, fg.frequency * 0.8)
+
+    def test_backlog_bound_consistent_with_buffer_sizing(self, chain):
+        data, gamma_u, alpha = chain
+        freq = gamma_u.long_run_rate * alpha.final_slope * 1.4
+        bound = backlog_bound_events(alpha, full_processor(freq), gamma_u)
+        sized = minimum_buffer_curves(alpha, gamma_u, freq)
+        assert sized.items == int(np.ceil(bound - 1e-9))
+
+    def test_event_kernel_agrees_with_replay_on_real_trace(self, chain):
+        data, _gamma_u, _alpha = chain
+        n = 4000
+        freq = 3.2e8
+        a = simulate_pipeline(data.pe1_output[:n], data.pe2_cycles[:n], freq, capacity=600)
+        b = replay_pipeline(data.pe1_output[:n], data.pe2_cycles[:n], freq, capacity=600)
+        assert a.max_backlog == b.max_backlog
+        assert np.allclose(a.completion_times, b.completion_times)
+
+
+class TestFigure1EndToEnd:
+    def test_paper_quantities_through_public_api(self):
+        from repro.core import ExecutionProfile
+
+        profile = ExecutionProfile({"a": (2, 4), "b": (1, 3), "c": (1, 3)})
+        trace = EventTrace.from_type_names("ababccaac", profile)
+        assert trace.gamma_b(3, 4) == 5.0
+        assert trace.gamma_w(3, 4) == 13.0
+        pair = WorkloadCurvePair.from_trace(trace, demands="interval")
+        assert pair.wcet == 4.0 and pair.bcet == 1.0

@@ -1,0 +1,90 @@
+"""Unit tests for repro.util.report."""
+
+import pytest
+
+from repro.util.report import TextTable, ascii_bar_chart, ascii_xy_plot, format_quantity
+from repro.util.validation import ValidationError
+
+
+class TestFormatQuantity:
+    def test_mega(self):
+        assert format_quantity(3.4e8, "Hz") == "340 MHz"
+
+    def test_giga(self):
+        assert format_quantity(2.5e9, "Hz") == "2.5 GHz"
+
+    def test_kilo(self):
+        assert format_quantity(1500, "B") == "1.5 kB"
+
+    def test_plain(self):
+        assert format_quantity(42, "s") == "42 s"
+
+    def test_negative(self):
+        assert format_quantity(-2e6, "Hz") == "-2 MHz"
+
+    def test_zero(self):
+        assert format_quantity(0.0, "x") == "0 x"
+
+    def test_nan(self):
+        assert format_quantity(float("nan")) == "nan"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        t = TextTable(["a", "bb"], title="T")
+        t.add_row([1, 2.5])
+        t.add_row(["long-cell", 3])
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2  # consistent widths
+
+    def test_row_width_mismatch(self):
+        t = TextTable(["a"])
+        with pytest.raises(ValidationError, match="cells"):
+            t.add_row([1, 2])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValidationError):
+            TextTable([])
+
+    def test_float_formatting(self):
+        t = TextTable(["x"])
+        t.add_row([0.123456789])
+        assert "0.1235" in t.render()
+
+
+class TestBarChart:
+    def test_normalized_scale(self):
+        chart = ascii_bar_chart(["a", "b"], [0.5, 1.0], width=10, max_value=1.0)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_values_clamped(self):
+        chart = ascii_bar_chart(["a"], [2.0], width=10, max_value=1.0)
+        assert chart.count("#") == 10
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValidationError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            ascii_bar_chart([], [])
+
+
+class TestXYPlot:
+    def test_contains_glyphs_and_ranges(self):
+        plot = ascii_xy_plot([0, 1, 2], {"up": [0, 1, 2], "down": [2, 1, 0]}, width=20, height=5)
+        assert "u=up" in plot
+        assert "x: [0, 2]" in plot
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            ascii_xy_plot([0, 1], {"s": [1]})
+
+    def test_constant_series_handled(self):
+        plot = ascii_xy_plot([0, 1], {"c": [5, 5]})
+        assert "c" in plot

@@ -1,0 +1,124 @@
+"""Unit and property tests for repro.util.staircase."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.staircase import (
+    cumulative_envelope_max,
+    cumulative_envelope_min,
+    is_non_decreasing,
+    is_strictly_increasing,
+    make_k_grid,
+    sliding_window_max_sum,
+    sliding_window_min_sum,
+)
+from repro.util.validation import ValidationError
+
+DEMANDS = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+
+
+class TestSlidingWindows:
+    def test_max_sum_k1_is_max(self):
+        assert sliding_window_max_sum(DEMANDS, 1) == 9.0
+
+    def test_min_sum_k1_is_min(self):
+        assert sliding_window_min_sum(DEMANDS, 1) == 1.0
+
+    def test_full_window_is_total(self):
+        assert sliding_window_max_sum(DEMANDS, len(DEMANDS)) == sum(DEMANDS)
+        assert sliding_window_min_sum(DEMANDS, len(DEMANDS)) == sum(DEMANDS)
+
+    def test_known_window(self):
+        # windows of 2: max is 5+9=14, min is 1+4... no: 3+1=4, 1+4=5, 4+1=5,
+        # 1+5=6, 5+9=14, 9+2=11, 2+6=8 -> min 4
+        assert sliding_window_max_sum(DEMANDS, 2) == 14.0
+        assert sliding_window_min_sum(DEMANDS, 2) == 4.0
+
+    def test_k_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            sliding_window_max_sum(DEMANDS, 0)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValidationError, match="exceeds"):
+            sliding_window_min_sum(DEMANDS, len(DEMANDS) + 1)
+
+    @given(
+        st.lists(st.floats(min_value=0.1, max_value=100.0), min_size=1, max_size=40),
+        st.data(),
+    )
+    def test_matches_bruteforce(self, values, data):
+        k = data.draw(st.integers(min_value=1, max_value=len(values)))
+        brute_max = max(sum(values[j : j + k]) for j in range(len(values) - k + 1))
+        brute_min = min(sum(values[j : j + k]) for j in range(len(values) - k + 1))
+        assert sliding_window_max_sum(values, k) == pytest.approx(brute_max)
+        assert sliding_window_min_sum(values, k) == pytest.approx(brute_min)
+
+
+class TestEnvelopes:
+    def test_envelope_matches_pointwise(self):
+        ks = np.array([1, 2, 3, 8])
+        env = cumulative_envelope_max(DEMANDS, ks)
+        expected = [sliding_window_max_sum(DEMANDS, int(k)) for k in ks]
+        assert np.allclose(env, expected)
+
+    def test_min_envelope_matches_pointwise(self):
+        ks = np.array([1, 4, 8])
+        env = cumulative_envelope_min(DEMANDS, ks)
+        expected = [sliding_window_min_sum(DEMANDS, int(k)) for k in ks]
+        assert np.allclose(env, expected)
+
+    def test_rejects_unsorted_k(self):
+        with pytest.raises(ValidationError):
+            cumulative_envelope_max(DEMANDS, [2, 1])
+
+    def test_rejects_empty_k(self):
+        with pytest.raises(ValidationError):
+            cumulative_envelope_max(DEMANDS, [])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=30))
+    def test_max_envelope_non_decreasing(self, values):
+        ks = np.arange(1, len(values) + 1)
+        env = cumulative_envelope_max(values, ks)
+        assert is_non_decreasing(env)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=30))
+    def test_min_envelope_below_max(self, values):
+        ks = np.arange(1, len(values) + 1)
+        assert np.all(
+            cumulative_envelope_min(values, ks) <= cumulative_envelope_max(values, ks) + 1e-12
+        )
+
+
+class TestMonotoneHelpers:
+    def test_non_decreasing(self):
+        assert is_non_decreasing([1, 1, 2])
+        assert not is_non_decreasing([2, 1])
+
+    def test_strictly_increasing(self):
+        assert is_strictly_increasing([1, 2, 3])
+        assert not is_strictly_increasing([1, 1])
+
+    def test_short_sequences(self):
+        assert is_non_decreasing([])
+        assert is_strictly_increasing([5])
+
+
+class TestKGrid:
+    def test_small_n_is_dense(self):
+        assert list(make_k_grid(5)) == [1, 2, 3, 4, 5]
+
+    def test_large_n_includes_endpoints(self):
+        grid = make_k_grid(100_000, dense_limit=64, growth=1.1)
+        assert grid[0] == 1
+        assert grid[-1] == 100_000
+        assert np.all(np.diff(grid) > 0)
+
+    def test_dense_prefix_complete(self):
+        grid = make_k_grid(10_000, dense_limit=32, growth=1.2)
+        assert list(grid[:32]) == list(range(1, 33))
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ValidationError):
+            make_k_grid(100, growth=1.0)

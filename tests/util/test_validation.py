@@ -1,0 +1,133 @@
+"""Unit tests for repro.util.validation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    check_array_1d,
+    check_in_range,
+    check_integer,
+    check_monotone,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    def test_accepts_numpy_scalar(self):
+        assert check_positive(np.float64(1.5), "x") == 1.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, "x")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive(float("nan"), "x")
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_positive(math.inf, "x")
+
+    def test_rejects_string(self):
+        with pytest.raises(ValidationError, match="real number"):
+            check_positive("3", "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_positive(True, "x")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError, match=">= 0"):
+            check_non_negative(-0.1, "x")
+
+
+class TestCheckInteger:
+    def test_accepts_int(self):
+        assert check_integer(5, "n") == 5
+
+    def test_accepts_integral_float(self):
+        assert check_integer(5.0, "n") == 5
+
+    def test_accepts_numpy_int(self):
+        assert check_integer(np.int64(7), "n") == 7
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValidationError):
+            check_integer(5.5, "n")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError, match="bool"):
+            check_integer(True, "n")
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError, match=">= 1"):
+            check_integer(0, "n", minimum=1)
+
+    def test_minimum_boundary_ok(self):
+        assert check_integer(1, "n", minimum=1) == 1
+
+
+class TestCheckMonotone:
+    def test_non_decreasing_ok(self):
+        out = check_monotone([1, 1, 2], "xs")
+        assert list(out) == [1.0, 1.0, 2.0]
+
+    def test_strictly_increasing_rejects_ties(self):
+        with pytest.raises(ValidationError, match="strictly"):
+            check_monotone([1, 1, 2], "xs", strict=True)
+
+    def test_decreasing_rejected(self):
+        with pytest.raises(ValidationError):
+            check_monotone([2, 1], "xs")
+
+    def test_single_element_ok(self):
+        assert list(check_monotone([3.0], "xs")) == [3.0]
+
+
+class TestCheckArray1d:
+    def test_list_converted(self):
+        arr = check_array_1d([1, 2, 3], "xs")
+        assert arr.dtype == float
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError, match="one-dimensional"):
+            check_array_1d(np.zeros((2, 2)), "xs")
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="finite"):
+            check_array_1d([1.0, float("nan")], "xs")
+
+    def test_empty_allowed(self):
+        assert check_array_1d([], "xs").size == 0
+
+
+class TestRanges:
+    def test_in_range(self):
+        assert check_in_range(0.5, "p", 0, 1) == 0.5
+
+    def test_out_of_range(self):
+        with pytest.raises(ValidationError):
+            check_in_range(1.5, "p", 0, 1)
+
+    def test_probability_bounds(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        with pytest.raises(ValidationError):
+            check_probability(-0.01, "p")
