@@ -29,12 +29,15 @@ from repro.curves.bounds import backlog_bound as _vertical_deviation
 from repro.curves.curve import EPS_REL, PiecewiseLinearCurve
 from repro.curves.minplus import UnboundedCurveError
 from repro.analysis.conversion import arrival_events_to_cycles, scale_arrival_by_wcet
+from repro.perf.batch import evaluate_at_many
+from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError
 
 __all__ = [
     "backlog_bound_cycles_wcet",
     "backlog_bound_cycles_curves",
     "backlog_bound_events",
+    "backlog_bound_events_many",
     "candidate_deltas",
 ]
 
@@ -44,13 +47,10 @@ def candidate_deltas(
 ) -> np.ndarray:
     """Window lengths at which a sup over ``Δ`` of a difference of these
     curves can be attained: all breakpoints plus left-limit probes."""
-    cands: set[float] = {0.0}
-    for bp in np.concatenate((alpha.breakpoints, beta.breakpoints)):
-        cands.add(float(bp))
-        eps = EPS_REL * max(1.0, abs(bp))
-        if bp - eps >= 0.0:
-            cands.add(float(bp - eps))
-    return np.array(sorted(cands))
+    bps = np.concatenate((alpha.breakpoints, beta.breakpoints))
+    probes = bps - EPS_REL * np.maximum(1.0, np.abs(bps))
+    cands = np.concatenate(([0.0], bps, probes[probes >= 0.0]))
+    return np.unique(cands)
 
 
 def backlog_bound_cycles_wcet(
@@ -72,6 +72,7 @@ def backlog_bound_cycles_curves(
     return _vertical_deviation(arrival_events_to_cycles(alpha_events, gamma_u), beta)
 
 
+@instrumented("backlog.bound_events")
 def backlog_bound_events(
     alpha_events: PiecewiseLinearCurve,
     beta: PiecewiseLinearCurve,
@@ -92,6 +93,28 @@ def backlog_bound_events(
             f"exceeds service rate {beta.final_slope:g}"
         )
     deltas = candidate_deltas(alpha_events, beta)
-    arrived = alpha_events(deltas)
-    served_events = gamma_u.pseudo_inverse(beta(deltas))
+    arrived, served_cycles = evaluate_at_many([alpha_events, beta], deltas)
+    served_events = gamma_u.pseudo_inverse(served_cycles)
     return float(np.max(arrived - served_events))
+
+
+@instrumented("backlog.bound_events_many")
+def backlog_bound_events_many(
+    alpha_events: PiecewiseLinearCurve,
+    betas,
+    gamma_u: WorkloadCurve,
+) -> list[float]:
+    """Eq. (7) against several service curves at once.
+
+    The batched form of a frequency sweep (``β(Δ) = F·Δ`` for many ``F``):
+    the arrival side is evaluated once on the union candidate grid, each
+    service curve then costs one batch evaluation plus one memoized
+    ``γ^{u-1}`` lookup.  Returns bounds aligned with *betas*.
+    """
+    if gamma_u.kind != "upper":
+        raise ValidationError("backlog bound needs an upper workload curve")
+    betas = list(betas)
+    out: list[float] = []
+    for beta in betas:
+        out.append(backlog_bound_events(alpha_events, beta, gamma_u))
+    return out

@@ -28,7 +28,7 @@ from repro.analysis.conversion import arrival_events_to_cycles
 from repro.core.workload import WorkloadCurve
 from repro.curves.bounds import delay_bound as _horizontal
 from repro.curves.curve import PiecewiseLinearCurve
-from repro.curves.minplus import convolve
+from repro.perf.batch import convolve_reduce
 from repro.util.validation import ValidationError
 
 __all__ = ["ProcessingNode", "NodeReport", "ChainReport", "StreamingChain"]
@@ -166,15 +166,17 @@ class StreamingChain:
         report = self.analyze(alpha_events)
         first = self.nodes[0]
         cycles_in = arrival_events_to_cycles(alpha_events, first.gamma_u)
-        combined = None
         ref_rate = first.gamma_u.long_run_rate
+        betas = []
         for node in self.nodes:
             # conservative normalization: a cycle of node i serves at least
             # 1/wcet_i events, each demanding at most ref-rate first-node
             # cycles; under-estimating service keeps the bound sound
             scale = ref_rate / node.gamma_u.per_activation_bound
-            beta = node.service * scale if scale != 1.0 else node.service
-            combined = beta if combined is None else convolve(combined, beta)
+            betas.append(node.service * scale if scale != 1.0 else node.service)
+        # min-plus convolution is associative: the balanced convolve_reduce
+        # batches each tree level and shares the memoized pair kernels
+        combined = convolve_reduce(betas)
         try:
             tandem = _horizontal(cycles_in, combined)
         except Exception:

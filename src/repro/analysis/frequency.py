@@ -34,12 +34,14 @@ import numpy as np
 
 from repro.core.workload import WorkloadCurve
 from repro.curves.curve import PiecewiseLinearCurve
+from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError, check_integer, check_positive
 
 __all__ = [
     "FrequencyBound",
     "minimum_frequency_curves",
     "minimum_frequency_wcet",
+    "minimum_frequency_sweep",
     "verify_service_constraint",
 ]
 
@@ -68,56 +70,103 @@ def _sup_candidates(alpha_events: PiecewiseLinearCurve) -> np.ndarray:
     is monotone towards the long-run rate, covered by a far-out probe).
     """
     bps = alpha_events.breakpoints
-    cands = [float(x) for x in bps if x > 0.0]
-    if not cands:
-        cands = [1.0]
+    cands = bps[bps > 0.0]
+    if cands.size == 0:
+        cands = np.array([1.0])
     if alpha_events.final_slope > 0:
-        cands.append(float(bps[-1]) * 4.0 + 1.0)  # probe the linear tail
-    return np.array(sorted(set(cands)))
+        # probe the linear tail
+        cands = np.append(cands, float(bps[-1]) * 4.0 + 1.0)
+    return np.unique(cands)
 
 
+def _best_ratio(ratios: np.ndarray, deltas: np.ndarray) -> tuple[float, float]:
+    """Supremum of the ratio sweep and the (first) window attaining it.
+
+    Matches the scalar loop's semantics: zero ratios never win, and ties
+    keep the earliest Δ.
+    """
+    if ratios.size == 0 or float(np.max(ratios)) <= 0.0:
+        return 0.0, math.inf
+    i = int(np.argmax(ratios))
+    return float(ratios[i]), float(deltas[i])
+
+
+@instrumented("frequency.minimum_curves")
 def minimum_frequency_curves(
     alpha_events: PiecewiseLinearCurve,
     gamma_u: WorkloadCurve,
     buffer_size: int,
 ) -> FrequencyBound:
-    """Eq. (9): minimum frequency with the workload-curve characterization."""
+    """Eq. (9): minimum frequency with the workload-curve characterization.
+
+    Vectorized: all candidate windows are evaluated in one batch — the
+    arrival counts, the ``γ^u`` lookups, and the ratio supremum are single
+    array operations.
+    """
     if gamma_u.kind != "upper":
         raise ValidationError("frequency bound needs an upper workload curve")
     check_integer(buffer_size, "buffer_size", minimum=1)
-    best = 0.0
-    best_delta = math.inf
-    for delta in _sup_candidates(alpha_events):
-        excess = int(math.ceil(float(alpha_events(delta)) - 1e-9)) - buffer_size
-        if excess <= 0:
-            continue
-        ratio = float(gamma_u(excess)) / delta
-        if ratio > best:
-            best = ratio
-            best_delta = float(delta)
+    deltas = _sup_candidates(alpha_events)
+    excess = np.ceil(alpha_events(deltas) - 1e-9).astype(np.int64) - buffer_size
+    mask = excess > 0
+    ratios = gamma_u(excess[mask]) / deltas[mask]
+    best, best_delta = _best_ratio(ratios, deltas[mask])
     return FrequencyBound(best, best_delta, "workload-curves")
 
 
+@instrumented("frequency.minimum_wcet")
 def minimum_frequency_wcet(
     alpha_events: PiecewiseLinearCurve,
     wcet: float,
     buffer_size: int,
 ) -> FrequencyBound:
     """Eq. (10): minimum frequency with the single-value WCET
-    characterization (``γ^u_w(k) = w·k``)."""
+    characterization (``γ^u_w(k) = w·k``); vectorized over the candidate
+    windows like :func:`minimum_frequency_curves`."""
     check_positive(wcet, "wcet")
     check_integer(buffer_size, "buffer_size", minimum=1)
-    best = 0.0
-    best_delta = math.inf
-    for delta in _sup_candidates(alpha_events):
-        excess = float(alpha_events(delta)) - buffer_size
-        if excess <= 0:
-            continue
-        ratio = wcet * excess / delta
-        if ratio > best:
-            best = ratio
-            best_delta = float(delta)
+    deltas = _sup_candidates(alpha_events)
+    excess = alpha_events(deltas) - buffer_size
+    mask = excess > 0
+    ratios = wcet * excess[mask] / deltas[mask]
+    best, best_delta = _best_ratio(ratios, deltas[mask])
     return FrequencyBound(best, best_delta, "wcet")
+
+
+@instrumented("frequency.sweep")
+def minimum_frequency_sweep(
+    alpha_events: PiecewiseLinearCurve,
+    gamma_u: WorkloadCurve,
+    wcet: float,
+    buffer_sizes,
+) -> list[tuple[FrequencyBound, FrequencyBound]]:
+    """Both bounds, eq. (9) and eq. (10), for every buffer size at once.
+
+    The batched form of the buffer-size ablation: the candidate windows and
+    arrival counts are computed once and shared across the whole sweep;
+    each buffer size then costs one ``γ^u`` batch lookup and two argmax
+    reductions.  Returns ``[(f_gamma, f_wcet), ...]`` aligned with
+    *buffer_sizes*.
+    """
+    if gamma_u.kind != "upper":
+        raise ValidationError("frequency bound needs an upper workload curve")
+    check_positive(wcet, "wcet")
+    sizes = [check_integer(b, "buffer_size", minimum=1) for b in buffer_sizes]
+    deltas = _sup_candidates(alpha_events)
+    arrived = alpha_events(deltas)
+    counts = np.ceil(arrived - 1e-9).astype(np.int64)
+    out: list[tuple[FrequencyBound, FrequencyBound]] = []
+    for b in sizes:
+        excess_int = counts - b
+        mask = excess_int > 0
+        ratios = gamma_u(excess_int[mask]) / deltas[mask]
+        fg = FrequencyBound(*_best_ratio(ratios, deltas[mask]), "workload-curves")
+        excess = arrived - b
+        mask = excess > 0
+        ratios = wcet * excess[mask] / deltas[mask]
+        fw = FrequencyBound(*_best_ratio(ratios, deltas[mask]), "wcet")
+        out.append((fg, fw))
+    return out
 
 
 def verify_service_constraint(
@@ -132,10 +181,10 @@ def verify_service_constraint(
     window (sound for staircase ``ᾱ``)."""
     check_positive(frequency, "frequency")
     check_integer(buffer_size, "buffer_size", minimum=1)
-    for delta in _sup_candidates(alpha_events):
-        excess = int(math.ceil(float(alpha_events(delta)) - 1e-9)) - buffer_size
-        if excess <= 0:
-            continue
-        if frequency * delta < float(gamma_u(excess)) * (1.0 - tolerance):
-            return False
-    return True
+    deltas = _sup_candidates(alpha_events)
+    excess = np.ceil(alpha_events(deltas) - 1e-9).astype(np.int64) - buffer_size
+    mask = excess > 0
+    if not np.any(mask):
+        return True
+    demanded = gamma_u(excess[mask])
+    return bool(np.all(frequency * deltas[mask] >= demanded * (1.0 - tolerance)))

@@ -101,6 +101,7 @@ class WorkloadCurve:
         self._kind: Kind = kind
         self._ks = ks
         self._vs = vs
+        self._digest: bytes | None = None
 
     # -- constructors --------------------------------------------------------------
     @classmethod
@@ -279,10 +280,14 @@ class WorkloadCurve:
             raise ValidationError("e must be >= 0")
         scalar = arr.ndim == 0
         ee = np.atleast_1d(arr)
-        if self._kind == "upper":
-            out = self._inverse_upper(ee)
-        else:
-            out = self._inverse_lower(ee)
+        from repro.perf.cache import digest_of, kernel_cache
+
+        key = ("workload.pseudo_inverse", self.content_digest(), digest_of(ee))
+        out = kernel_cache.get_or_compute(
+            key,
+            lambda: self._inverse_upper(ee) if self._kind == "upper" else self._inverse_lower(ee),
+            copy=True,
+        )
         return int(out[0]) if scalar else out
 
     def _inverse_upper(self, ee: np.ndarray) -> np.ndarray:
@@ -354,6 +359,17 @@ class WorkloadCurve:
             raise ValidationError(
                 f"cannot combine {self._kind} curve with {other._kind} curve"
             )
+        from repro.perf.cache import kernel_cache
+
+        key = (
+            "workload.combine",
+            op.__name__,
+            self.content_digest(),
+            other.content_digest(),
+        )
+        return kernel_cache.get_or_compute(key, lambda: self._combine_impl(other, op))
+
+    def _combine_impl(self, other: "WorkloadCurve", op) -> "WorkloadCurve":
         ks = np.union1d(self._ks, other._ks)
         vs = op(self(ks), other(ks))
         return WorkloadCurve(self._kind, ks, vs)
@@ -386,6 +402,24 @@ class WorkloadCurve:
             and np.array_equal(self._ks, other._ks)
             and np.allclose(self._vs, other._vs)
         )
+
+    def __hash__(self) -> int:
+        """Hash consistent with :meth:`__eq__`.
+
+        Equal curves must agree exactly on ``kind`` and the integer sample
+        grid (``array_equal``), so those are safe hash inputs; the values
+        are only ``allclose``-compared and therefore excluded.  Exact cache
+        keys use :meth:`content_digest` instead.
+        """
+        return hash(("WorkloadCurve", self._kind, self._ks.tobytes()))
+
+    def content_digest(self) -> bytes:
+        """Exact content digest of kind/grid/values (cache key; bit-exact)."""
+        if self._digest is None:
+            from repro.perf.cache import digest_of
+
+            self._digest = digest_of(b"workload", self._kind, self._ks, self._vs)
+        return self._digest
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -78,6 +78,8 @@ class PiecewiseLinearCurve:
         self._x = xa
         self._y = ya
         self._s = sa
+        self._digest: bytes | None = None
+        self._hash: int | None = None
 
     # -- accessors ------------------------------------------------------------------
     @property
@@ -271,6 +273,33 @@ class PiecewiseLinearCurve:
             and np.allclose(a._y, b._y)
             and np.allclose(a._s, b._s)
         )
+
+    def __hash__(self) -> int:
+        """Hash consistent with :meth:`__eq__`.
+
+        Equality is *approximate* (``allclose`` on the simplified
+        representation), so the hash may only depend on invariants that are
+        exactly equal for every pair of equal curves — here the simplified
+        segment count, which ``__eq__`` requires to match.  The hash is
+        deliberately coarse; within a dict bucket the exact ``__eq__``
+        disambiguates.  Exact cache keys use :meth:`content_digest` instead.
+        """
+        if self._hash is None:
+            self._hash = hash(("PiecewiseLinearCurve", self.simplified()._x.size))
+        return self._hash
+
+    def content_digest(self) -> bytes:
+        """Exact content digest of the stored representation (cache key).
+
+        Bit-identical curves share a digest; ``allclose``-but-not-identical
+        curves do not — content-addressed caching therefore never conflates
+        two curves that could evaluate differently.
+        """
+        if self._digest is None:
+            from repro.perf.cache import digest_of
+
+            self._digest = digest_of(b"pwl", self._x, self._y, self._s)
+        return self._digest
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -26,16 +26,27 @@ sum/difference set every such *configuration* is a straight line, so the
 result restricted to that interval is the lower (upper) envelope of a
 finite set of lines, which we compute with an exact envelope sweep —
 including the crossing breakpoints that do not belong to the sum set.
+
+Performance
+-----------
+The candidate-line construction and the envelope sweep are vectorized
+(per-interval batch numpy instead of per-breakpoint Python), and the full
+curve operators are memoized by operand content digest through
+:mod:`repro.perf.cache` — a design-space sweep that re-convolves the same
+pair pays for the construction once.  The fast paths are validated against
+the definitional brute-force implementations in :mod:`repro.reference` by
+the differential-oracle suite.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Callable
 
 import numpy as np
 
 from repro.curves.curve import EPS_REL, PiecewiseLinearCurve
+from repro.perf.cache import kernel_cache
+from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError
 
 __all__ = [
@@ -116,49 +127,88 @@ def deconvolve_at(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, delta: float
 # exact curve construction via per-interval line envelopes
 # ---------------------------------------------------------------------------
 
-def _line_envelope_on_interval(
-    lines: list[tuple[float, float]], a: float, b: float, *, lower: bool
-) -> list[tuple[float, float, float]]:
-    """Envelope of ``value = v_mid + slope·(Δ − mid)`` lines on ``[a, b)``.
+class _CurveArrays:
+    """Unpacked curve data shared across all intervals of one construction.
 
-    Each line is given as ``(value_at_a, slope)``.  Returns segments
-    ``(start, value_at_start, slope)`` covering ``[a, b)`` of the lower
-    (``lower=True``) or upper envelope, exact crossings included.
+    Precomputes the per-breakpoint left limits (used by the jump probes)
+    so the per-interval line builders are pure array arithmetic.
     """
-    if not lines:
+
+    __slots__ = ("x", "y", "s", "left")
+
+    def __init__(self, curve: PiecewiseLinearCurve):
+        self.x = curve.breakpoints
+        self.y = curve.values_at_breakpoints
+        self.s = curve.slopes
+        # left limit at each breakpoint; index 0 is never used (probes only
+        # exist for breakpoints > 0)
+        self.left = np.empty_like(self.y)
+        self.left[0] = self.y[0]
+        if self.x.size > 1:
+            self.left[1:] = self.y[:-1] + self.s[:-1] * np.diff(self.x)
+
+    def eval_at(self, t: np.ndarray) -> np.ndarray:
+        """Vectorized right-continuous evaluation (t must be >= 0)."""
+        idx = np.searchsorted(self.x, t, side="right") - 1
+        return self.y[idx] + self.s[idx] * (t - self.x[idx])
+
+    def eval0_at(self, t: np.ndarray) -> np.ndarray:
+        """Evaluation under the min-plus ``f(0) = 0`` convention."""
+        return np.where(t == 0.0, 0.0, self.eval_at(t))
+
+    def slope_at(self, t: np.ndarray) -> np.ndarray:
+        """Segment slope in effect at each (right-continuous) point."""
+        return self.s[np.searchsorted(self.x, t, side="right") - 1]
+
+
+def _line_envelope_on_interval(
+    va: np.ndarray, sl: np.ndarray, a: float, b: float, *, lower: bool
+) -> list[tuple[float, float, float]]:
+    """Envelope of the lines ``value = va + sl·(Δ − a)`` on ``[a, b)``.
+
+    Returns segments ``(start, value_at_start, slope)`` covering ``[a, b)``
+    of the lower (``lower=True``) or upper envelope, exact crossings
+    included.  Fully vectorized: the winner selection and the first-crossing
+    search are single array reductions per emitted segment.
+    """
+    if va.size == 0:
         raise ValidationError("envelope needs at least one line")
+    # dedup (value-at-a, slope) pairs; keeps the candidate set small
+    uniq = np.unique(np.column_stack((va, sl)), axis=0)
+    va, sl = uniq[:, 0], uniq[:, 1]
     segments: list[tuple[float, float, float]] = []
     x = a
-    # pick the winning line at x (ties broken by slope: flattest wins for
-    # lower envelope, steepest for upper)
-    remaining = sorted(set(lines))
-    max_segments = len(remaining) + 2  # each crossing switches to a new line
+    max_segments = va.size + 2  # each crossing switches to a new line
     while x < b - 1e-18 and len(segments) < max_segments:
-        best_val = None
-        best_slope = None
-        for va, s in remaining:
-            v = va + s * (x - a)
-            if best_val is None or (v < best_val - 1e-12 if lower else v > best_val + 1e-12):
-                best_val, best_slope = v, s
-            elif abs(v - best_val) <= 1e-12 + 1e-12 * abs(best_val):
-                if (lower and s < best_slope) or (not lower and s > best_slope):
-                    best_val, best_slope = v, s
-        # find the first crossing where another line overtakes the winner
+        v = va + sl * (x - a)
+        # winning line at x: extremal value, ties (within float noise)
+        # broken by slope — flattest wins for lower envelope, steepest for
+        # upper, so the chosen segment stays on the envelope just after x
+        if lower:
+            vbest = float(v.min())
+            near = np.flatnonzero(v <= vbest + 1e-12 + 1e-12 * abs(vbest))
+            j = near[np.argmin(sl[near])]
+        else:
+            vbest = float(v.max())
+            near = np.flatnonzero(v >= vbest - 1e-12 - 1e-12 * abs(vbest))
+            j = near[np.argmax(sl[near])]
+        best_val = float(v[j])
+        best_slope = float(sl[j])
+        # first crossing where another line overtakes the winner.
+        # near-parallel lines never produce a meaningful crossing; a
+        # denormal slope difference would yield a numerically garbage
+        # crossing abscissa, so treat it as parallel
+        rel = sl - best_slope
+        overtaking = np.abs(rel) > 1e-15 * np.maximum(
+            1.0, np.maximum(np.abs(sl), abs(best_slope))
+        )
+        overtaking &= (rel < 0) if lower else (rel > 0)
         next_x = b
-        for va, s in remaining:
-            rel = s - best_slope
-            # near-parallel lines never produce a meaningful crossing; a
-            # denormal slope difference would yield a numerically garbage
-            # crossing abscissa, so treat it as parallel
-            if abs(rel) <= 1e-15 * max(1.0, abs(s), abs(best_slope)):
-                continue
-            v = va + s * (x - a)
-            gap = v - best_val
-            # the challenger wins when best_val + best_slope·t crosses it
-            if (lower and rel < 0) or (not lower and rel > 0):
-                t = gap / (-rel)
-                if t > 1e-15 and x + t < next_x:
-                    next_x = x + t
+        if np.any(overtaking):
+            t = (v[overtaking] - best_val) / (-rel[overtaking])
+            t = t[t > 1e-15]
+            if t.size and x + float(t.min()) < next_x:
+                next_x = x + float(t.min())
         segments.append((x, best_val, best_slope))
         if not math.isfinite(next_x):
             break
@@ -167,41 +217,55 @@ def _line_envelope_on_interval(
 
 
 def _configuration_lines_convolve(
-    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, a: float, mid: float
-) -> list[tuple[float, float]]:
+    f: _CurveArrays, g: _CurveArrays, a: float, mid: float
+) -> tuple[np.ndarray, np.ndarray]:
     """All candidate lines for (f⊗g) on an interval with midpoint *mid*.
 
     Configurations: ``s`` pinned at a breakpoint of f (line follows g), or
     ``Δ − s`` pinned at a breakpoint of g (line follows f).  Only
-    configurations feasible throughout the interval contribute.
+    configurations feasible throughout the interval contribute.  Returns
+    ``(value_at_a, slope)`` arrays.
     """
-    lines: list[tuple[float, float]] = []
-    for xf in f.breakpoints:
-        s = float(xf)
-        if s <= a + 1e-15:
-            rest = mid - s
-            slope = float(g.slopes[np.searchsorted(g.breakpoints, rest, side="right") - 1])
-            val_mid = _eval0(f, s) + _eval0(g, rest)
-            lines.append((val_mid - slope * (mid - a), slope))
-            # f is right-continuous: the inf can be approached with s just
-            # below the breakpoint, paying f's left limit (matters when f
-            # jumps, e.g. staircase arrival curves)
-            if s > 0.0:
-                val_mid_left = f.left_limit(s) + _eval0(g, rest)
-                lines.append((val_mid_left - slope * (mid - a), slope))
-    for xg in g.breakpoints:
-        r = float(xg)
-        if r <= a + 1e-15:
-            s_mid = mid - r
-            slope = float(f.slopes[np.searchsorted(f.breakpoints, s_mid, side="right") - 1])
-            val_mid = _eval0(f, s_mid) + _eval0(g, r)
-            lines.append((val_mid - slope * (mid - a), slope))
-            # likewise, Δ − s can sit just below a g-breakpoint, paying g's
-            # left limit
-            if r > 0.0:
-                val_mid_left = _eval0(f, s_mid) + g.left_limit(r)
-                lines.append((val_mid_left - slope * (mid - a), slope))
-    return lines
+    vas: list[np.ndarray] = []
+    sls: list[np.ndarray] = []
+    half = mid - a
+
+    fsel = f.x <= a + 1e-15
+    if np.any(fsel):
+        s = f.x[fsel]
+        rest = mid - s
+        slope = g.slope_at(rest)
+        g_rest = g.eval0_at(rest)
+        f_at = np.where(s == 0.0, 0.0, f.y[fsel])
+        vas.append(f_at + g_rest - slope * half)
+        sls.append(slope)
+        # f is right-continuous: the inf can be approached with s just
+        # below the breakpoint, paying f's left limit (matters when f
+        # jumps, e.g. staircase arrival curves)
+        jump = s > 0.0
+        if np.any(jump):
+            vas.append(f.left[fsel][jump] + g_rest[jump] - slope[jump] * half)
+            sls.append(slope[jump])
+
+    gsel = g.x <= a + 1e-15
+    if np.any(gsel):
+        r = g.x[gsel]
+        s_mid = mid - r
+        slope = f.slope_at(s_mid)
+        f_smid = f.eval0_at(s_mid)
+        g_at = np.where(r == 0.0, 0.0, g.y[gsel])
+        vas.append(f_smid + g_at - slope * half)
+        sls.append(slope)
+        # likewise, Δ − s can sit just below a g-breakpoint, paying g's
+        # left limit
+        jump = r > 0.0
+        if np.any(jump):
+            vas.append(f_smid[jump] + g.left[gsel][jump] - slope[jump] * half)
+            sls.append(slope[jump])
+
+    if not vas:
+        return np.empty(0), np.empty(0)
+    return np.concatenate(vas), np.concatenate(sls)
 
 
 def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
@@ -209,25 +273,34 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinea
 
     With ``n`` and ``m`` segments the construction is O(n·m·(n+m)); for
     trace staircases with thousands of jumps prefer :func:`convolve_at` on
-    the Δ values you need.
+    the Δ values you need.  Results are memoized by operand content digest
+    (see :mod:`repro.perf.cache`).
     """
-    sums = {float(xa + xb) for xa in f.breakpoints for xb in g.breakpoints}
-    sums.add(0.0)
-    grid = sorted(sums)
+    key = ("minplus.convolve", f.content_digest(), g.content_digest())
+    return kernel_cache.get_or_compute(key, lambda: _convolve_impl(f, g))
+
+
+@instrumented("minplus.convolve")
+def _convolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+    fa = _CurveArrays(f)
+    ga = _CurveArrays(g)
+    grid = np.unique(np.add.outer(fa.x, ga.x).ravel())  # contains 0 (= x_f0 + x_g0)
     xs: list[float] = []
     ys: list[float] = []
     ss: list[float] = []
     final_slope = min(f.final_slope, g.final_slope)
-    for i, a in enumerate(grid):
-        last = i + 1 >= len(grid)
-        b = a + max(1.0, abs(a)) if last else grid[i + 1]
+    n_grid = grid.size
+    for i in range(n_grid):
+        a = float(grid[i])
+        last = i + 1 >= n_grid
+        b = a + max(1.0, abs(a)) if last else float(grid[i + 1])
         mid = 0.5 * (a + b)
-        lines = _configuration_lines_convolve(f, g, a, mid)
+        va, sl = _configuration_lines_convolve(fa, ga, a, mid)
         if last:
             b = math.inf
         # the envelope value at `a` is already the right limit: configurations
         # feasible on [a, b) evaluated at a reproduce the RC value exactly
-        for start, val, slope in _line_envelope_on_interval(lines, a, b, lower=True):
+        for start, val, slope in _line_envelope_on_interval(va, sl, a, b, lower=True):
             xs.append(start)
             ys.append(max(val, 0.0))
             ss.append(max(slope, 0.0))
@@ -236,33 +309,41 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinea
 
 
 def _configuration_lines_deconvolve(
-    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, a: float, mid: float
-) -> list[tuple[float, float]]:
+    f: _CurveArrays, g: _CurveArrays, a: float, mid: float
+) -> tuple[np.ndarray, np.ndarray]:
     """Candidate lines for (f⊘g) on an interval with midpoint *mid*.
 
     Configurations: ``u`` pinned at a breakpoint of g (line follows f,
     always feasible), or ``Δ + u`` pinned at a breakpoint of f (line slope
     is g's local slope; feasible while ``x_f >= Δ``)."""
-    lines: list[tuple[float, float]] = []
-    for xg in g.breakpoints:
-        u = float(xg)
-        slope = float(f.slopes[np.searchsorted(f.breakpoints, mid + u, side="right") - 1])
-        val_mid = float(f(mid + u)) - _eval0(g, u)
-        lines.append((val_mid - slope * (mid - a), slope))
-        # probe just below a g-jump: g's left limit is smaller, which can
-        # only increase the supremum (f changes only infinitesimally there
-        # unless Δ+u hits an f-breakpoint, which is a grid point)
-        if u > 0.0:
-            val_mid_left = float(f(mid + u)) - g.left_limit(u)
-            lines.append((val_mid_left - slope * (mid - a), slope))
-    for xf in f.breakpoints:
-        t = float(xf)
-        if t >= mid:  # u = t − Δ stays >= 0 around the midpoint
-            u_mid = t - mid
-            slope = float(g.slopes[np.searchsorted(g.breakpoints, u_mid, side="right") - 1])
-            val_mid = float(f(t)) - _eval0(g, u_mid)
-            lines.append((val_mid - slope * (mid - a), slope))
-    return lines
+    vas: list[np.ndarray] = []
+    sls: list[np.ndarray] = []
+    half = mid - a
+
+    u = g.x
+    slope = f.slope_at(mid + u)
+    f_shift = f.eval_at(mid + u)
+    g_at = np.where(u == 0.0, 0.0, g.y)
+    vas.append(f_shift - g_at - slope * half)
+    sls.append(slope)
+    # probe just below a g-jump: g's left limit is smaller, which can
+    # only increase the supremum (f changes only infinitesimally there
+    # unless Δ+u hits an f-breakpoint, which is a grid point)
+    jump = u > 0.0
+    if np.any(jump):
+        vas.append(f_shift[jump] - g.left[jump] - slope[jump] * half)
+        sls.append(slope[jump])
+
+    fsel = f.x >= mid  # u = t − Δ stays >= 0 around the midpoint
+    if np.any(fsel):
+        t = f.x[fsel]
+        u_mid = t - mid
+        slope = g.slope_at(u_mid)
+        g_umid = np.where(u_mid == 0.0, 0.0, g.eval_at(u_mid))
+        vas.append(f.y[fsel] - g_umid - slope * half)
+        sls.append(slope)
+
+    return np.concatenate(vas), np.concatenate(sls)
 
 
 def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
@@ -271,28 +352,38 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLin
 
     Used for the output arrival curve ``α* = α ⊘ β`` of a served flow.
     Raises :class:`UnboundedCurveError` when the result is infinite.
+    Results are memoized by operand content digest.
     """
     if f.final_slope > g.final_slope + 1e-12:
         raise UnboundedCurveError(
             f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
             f"service rate {g.final_slope:g}"
         )
-    diffs = {float(xa - xb) for xa in f.breakpoints for xb in g.breakpoints}
-    diffs.add(0.0)
-    grid = sorted(d for d in diffs if d >= 0.0)
-    if grid[0] != 0.0:
-        grid.insert(0, 0.0)
+    key = ("minplus.deconvolve", f.content_digest(), g.content_digest())
+    return kernel_cache.get_or_compute(key, lambda: _deconvolve_impl(f, g))
+
+
+@instrumented("minplus.deconvolve")
+def _deconvolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+    fa = _CurveArrays(f)
+    ga = _CurveArrays(g)
+    diffs = np.unique(np.subtract.outer(fa.x, ga.x).ravel())
+    grid = diffs[diffs >= 0.0]
+    if grid.size == 0 or grid[0] != 0.0:
+        grid = np.concatenate(([0.0], grid))
     xs: list[float] = []
     ys: list[float] = []
     ss: list[float] = []
-    for i, a in enumerate(grid):
-        last = i + 1 >= len(grid)
-        b = a + max(1.0, abs(a)) if last else grid[i + 1]
+    n_grid = grid.size
+    for i in range(n_grid):
+        a = float(grid[i])
+        last = i + 1 >= n_grid
+        b = a + max(1.0, abs(a)) if last else float(grid[i + 1])
         mid = 0.5 * (a + b)
-        lines = _configuration_lines_deconvolve(f, g, a, mid)
+        va, sl = _configuration_lines_deconvolve(fa, ga, a, mid)
         if last:
             b = math.inf
-        for start, val, slope in _line_envelope_on_interval(lines, a, b, lower=False):
+        for start, val, slope in _line_envelope_on_interval(va, sl, a, b, lower=False):
             xs.append(start)
             ys.append(max(val, 0.0))
             ss.append(max(slope, 0.0))
@@ -325,10 +416,17 @@ def self_convolution_fixpoint(
 
     Iterates ``h ← min(h, h ⊗ f)`` up to *iterations* times, stopping early
     at a fixpoint; concave curves stabilize after one step, where the result
-    is exact.
+    is exact.  Memoized on ``(f, iterations)``; the inner convolutions also
+    hit the kernel cache individually.
     """
     if iterations < 1:
         raise ValidationError("iterations must be >= 1")
+    key = ("minplus.self_fixpoint", f.content_digest(), int(iterations))
+    return kernel_cache.get_or_compute(key, lambda: _self_fixpoint_impl(f, iterations))
+
+
+@instrumented("minplus.self_fixpoint")
+def _self_fixpoint_impl(f: PiecewiseLinearCurve, iterations: int) -> PiecewiseLinearCurve:
     h = f
     for _ in range(iterations):
         nxt = h.minimum(convolve(h, f))

@@ -8,7 +8,7 @@ sweep quantifies that (the paper only evaluates b = one frame).
 
 from __future__ import annotations
 
-from repro.analysis.frequency import minimum_frequency_curves, minimum_frequency_wcet
+from repro.analysis.frequency import minimum_frequency_sweep
 from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
 from repro.util.report import TextTable, format_quantity
 
@@ -27,9 +27,8 @@ def run(
         title="Ablation: minimum frequency vs FIFO size",
     )
     rows = []
-    for b in buffer_sizes:
-        fg = minimum_frequency_curves(ctx.alpha, ctx.gamma_u, b)
-        fw = minimum_frequency_wcet(ctx.alpha, ctx.wcet, b)
+    bounds = minimum_frequency_sweep(ctx.alpha, ctx.gamma_u, ctx.wcet, buffer_sizes)
+    for b, (fg, fw) in zip(buffer_sizes, bounds):
         savings = fg.savings_over(fw)
         table.add_row(
             [

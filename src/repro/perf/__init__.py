@@ -1,0 +1,80 @@
+"""repro.perf — memoization, instrumentation, and batch kernels.
+
+The performance layer behind the analysis engine:
+
+* :mod:`repro.perf.cache` — a content-addressed LRU memo cache for the
+  expensive pure operations (min-plus convolution/deconvolution, workload
+  curve combination and inversion, trace envelope extraction), keyed by
+  exact content digests, with hit/miss/eviction counters and an opt-out
+  switch;
+* :mod:`repro.perf.instrument` — per-kernel call counts and wall time;
+* :mod:`repro.perf.batch` — batched kernels (:func:`convolve_many`,
+  :func:`evaluate_at_many`, …) for the sweep-style workloads.
+
+Quick use::
+
+    import repro.perf as perf
+
+    perf.configure(enabled=False)   # force every kernel to recompute
+    perf.configure(enabled=True)
+    perf.clear_cache()
+    perf.report()                   # {"kernels": {...}, "cache": {...}}
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.perf.cache import (
+    KernelCache,
+    configure,
+    digest_of,
+    kernel_cache,
+)
+from repro.perf.cache import clear as clear_cache
+from repro.perf.cache import stats as cache_stats
+from repro.perf.instrument import instrumented, snapshot as kernel_snapshot
+
+__all__ = [
+    "KernelCache",
+    "kernel_cache",
+    "configure",
+    "clear_cache",
+    "cache_stats",
+    "digest_of",
+    "instrumented",
+    "report",
+    "reset",
+    "convolve_many",
+    "deconvolve_many",
+    "evaluate_at_many",
+]
+
+
+def report() -> dict[str, Any]:
+    """One snapshot of the whole performance layer.
+
+    Returns ``{"kernels": {name: {calls, seconds}}, "cache": {...}}`` —
+    the payload dumped to ``benchmarks/BENCH_kernels.json`` by the kernel
+    benchmark suite.
+    """
+    return {"kernels": kernel_snapshot(), "cache": cache_stats()}
+
+
+def reset() -> None:
+    """Clear the cache and zero every counter (cache + instrumentation)."""
+    from repro.perf import instrument
+
+    kernel_cache.clear()
+    kernel_cache.reset_counters()
+    instrument.reset()
+
+
+def __getattr__(name: str):
+    # batch imports the curve kernels, which import this package for the
+    # cache — resolve lazily to keep the import graph acyclic.
+    if name in ("convolve_many", "deconvolve_many", "evaluate_at_many"):
+        from repro.perf import batch
+
+        return getattr(batch, name)
+    raise AttributeError(f"module 'repro.perf' has no attribute {name!r}")

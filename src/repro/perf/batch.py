@@ -1,0 +1,85 @@
+"""Batched curve kernels for sweep-style workloads.
+
+Design-space sweeps (buffer-size ablations, frequency ladders, chain
+reductions) apply the same operator to many operands.  The helpers here
+expose that as batch calls: duplicate work is collapsed through the kernel
+cache, and evaluation over a shared Δ-grid is a single vectorized pass per
+curve instead of a Python loop of scalar calls.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.minplus import convolve, deconvolve
+from repro.perf.instrument import instrumented
+from repro.util.validation import ValidationError
+
+__all__ = ["convolve_many", "deconvolve_many", "evaluate_at_many", "convolve_reduce"]
+
+_Pair = tuple[PiecewiseLinearCurve, PiecewiseLinearCurve]
+
+
+@instrumented("batch.convolve_many")
+def convolve_many(pairs: Sequence[_Pair]) -> list[PiecewiseLinearCurve]:
+    """Min-plus convolution of every ``(f, g)`` pair.
+
+    Each pair routes through the memoized :func:`repro.curves.minplus
+    .convolve`, so repeated pairs — common when a sweep perturbs only one
+    operand — cost one construction.
+    """
+    return [convolve(f, g) for f, g in pairs]
+
+
+@instrumented("batch.deconvolve_many")
+def deconvolve_many(pairs: Sequence[_Pair]) -> list[PiecewiseLinearCurve]:
+    """Min-plus deconvolution of every ``(f, g)`` pair (memoized per pair)."""
+    return [deconvolve(f, g) for f, g in pairs]
+
+
+@instrumented("batch.evaluate_at_many")
+def evaluate_at_many(
+    curves: Sequence[PiecewiseLinearCurve], deltas
+) -> np.ndarray:
+    """Evaluate several curves on one shared Δ-grid.
+
+    Returns an array of shape ``(len(curves), len(deltas))`` with
+    ``out[i, j] = curves[i](deltas[j])``.  This is the evaluation kernel of
+    the backlog/frequency sweeps: the grid is validated once and each curve
+    contributes a single vectorized pass.
+    """
+    dd = np.atleast_1d(np.asarray(deltas, dtype=float))
+    if dd.ndim != 1:
+        raise ValidationError("deltas must be a scalar or 1-D sequence")
+    if np.any(dd < 0):
+        raise ValidationError("delta must be >= 0")
+    out = np.empty((len(curves), dd.size), dtype=float)
+    for i, curve in enumerate(curves):
+        if not isinstance(curve, PiecewiseLinearCurve):
+            raise ValidationError("curves must be PiecewiseLinearCurve instances")
+        out[i] = curve(dd)
+    return out
+
+
+def convolve_reduce(curves: Iterable[PiecewiseLinearCurve]) -> PiecewiseLinearCurve:
+    """Convolve a whole sequence, ``f₁ ⊗ f₂ ⊗ … ⊗ fₙ``, by pairwise
+    (balanced-tree) reduction.
+
+    Min-plus convolution is associative, so the tree order is equivalent to
+    a left fold; the tree shape keeps intermediate curves small (the segment
+    count of a convolution grows with both operands) and lets
+    :func:`convolve_many` batch each level.
+    """
+    level = list(curves)
+    if not level:
+        raise ValidationError("convolve_reduce needs at least one curve")
+    while len(level) > 1:
+        pairs = list(zip(level[0::2], level[1::2]))
+        reduced = convolve_many(pairs)
+        if len(level) % 2:
+            reduced.append(level[-1])
+        level = reduced
+    return level[0]

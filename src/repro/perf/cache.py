@@ -1,0 +1,178 @@
+"""Content-addressed memoization of pure curve kernels.
+
+Design-space sweeps (frequency/buffer ablations, chain analyses, DVS-style
+explorations) re-evaluate the same min-plus convolutions and workload-curve
+compositions thousands of times with identical inputs.  All of those
+operations are *pure*: the result depends only on the mathematical content
+of the operands.  This module provides a process-wide LRU cache keyed by
+content digests of the operands, so a repeated call returns the previously
+constructed (immutable) result object instead of re-running the kernel.
+
+Soundness
+---------
+Keys are ``blake2b`` digests of the exact binary representation of the
+operand arrays (plus the operation name and any scalar parameters), so a
+hit is only possible for bit-identical inputs — two curves that are merely
+``allclose`` miss the cache and are recomputed.  Cached values are either
+immutable curve objects (safe to share) or arrays that the call sites copy
+on the way out (see :func:`KernelCache.get_or_compute`'s ``copy`` flag).
+
+The cache can be disabled (``configure(enabled=False)``) — every kernel
+then recomputes from scratch and, by purity, must return identical values;
+the differential-oracle suite asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = ["KernelCache", "kernel_cache", "configure", "clear", "stats", "digest_of"]
+
+_SENTINEL = object()
+
+#: Default bound on resident entries; evicts least-recently-used beyond it.
+DEFAULT_MAX_ENTRIES = 4096
+
+
+def digest_of(*parts: Any) -> bytes:
+    """Content digest of a mixed sequence of arrays / bytes / scalars.
+
+    ndarray parts contribute their raw bytes (dtype and shape included, so
+    an int64 grid never collides with a float64 one of equal bit pattern);
+    everything else contributes its ``repr``.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            h.update(str(part.dtype).encode())
+            h.update(str(part.shape).encode())
+            h.update(np.ascontiguousarray(part).tobytes())
+        elif isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"\x00")
+    return h.digest()
+
+
+class KernelCache:
+    """A bounded LRU memo table with hit/miss/eviction accounting.
+
+    Thread-safe for the lookup/insert bookkeeping; a missed computation
+    runs outside the lock (two racing threads may both compute, last write
+    wins — harmless for pure kernels).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
+        self.max_entries = int(max_entries)
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self._store: OrderedDict[Hashable, Any] = OrderedDict()
+        self._per_op: dict[str, dict[str, int]] = {}
+        self._lock = threading.Lock()
+
+    # -- core ------------------------------------------------------------------
+    def get_or_compute(
+        self, key: tuple, compute: Callable[[], Any], *, copy: bool = False
+    ) -> Any:
+        """Return the cached value for *key* or compute, store, and return it.
+
+        ``key[0]`` must be the operation name (used for per-op counters).
+        With ``copy=True`` the value is an ndarray and a defensive copy is
+        returned on both hits and misses, so callers can never mutate the
+        cached master.
+        """
+        if not self.enabled:
+            with self._lock:
+                self.bypasses += 1
+            value = compute()
+            return value.copy() if copy else value
+        op = key[0]
+        with self._lock:
+            value = self._store.get(key, _SENTINEL)
+            counters = self._per_op.setdefault(op, {"hits": 0, "misses": 0})
+            if value is not _SENTINEL:
+                self.hits += 1
+                counters["hits"] += 1
+                self._store.move_to_end(key)
+                return value.copy() if copy else value
+            self.misses += 1
+            counters["misses"] += 1
+        value = compute()
+        with self._lock:
+            self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+        return value.copy() if copy else value
+
+    # -- management ------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; see :meth:`reset_counters`)."""
+        with self._lock:
+            self._store.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/eviction/bypass counters."""
+        with self._lock:
+            self.hits = self.misses = self.evictions = self.bypasses = 0
+            self._per_op.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the accounting state.
+
+        ``calls`` counts every :meth:`get_or_compute` with the cache
+        enabled, so ``hits + misses == calls`` always holds.
+        """
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "entries": len(self._store),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "calls": self.hits + self.misses,
+                "evictions": self.evictions,
+                "bypasses": self.bypasses,
+                "per_op": {op: dict(c) for op, c in self._per_op.items()},
+            }
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: The process-wide cache every kernel routes through.
+kernel_cache = KernelCache()
+
+
+def configure(*, enabled: bool | None = None, max_entries: int | None = None) -> None:
+    """Adjust the global cache: switch it on/off and/or resize it.
+
+    Disabling does not drop existing entries — re-enabling resumes serving
+    them.  Shrinking evicts LRU entries down to the new bound on the next
+    insert.
+    """
+    if enabled is not None:
+        kernel_cache.enabled = bool(enabled)
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        kernel_cache.max_entries = int(max_entries)
+
+
+def clear() -> None:
+    """Drop all cached results from the global cache."""
+    kernel_cache.clear()
+
+
+def stats() -> dict[str, Any]:
+    """Accounting snapshot of the global cache."""
+    return kernel_cache.stats()

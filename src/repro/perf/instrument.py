@@ -1,0 +1,61 @@
+"""Lightweight per-kernel instrumentation (call counts + wall time).
+
+Every hot kernel is wrapped with :func:`instrumented`, which accumulates a
+call count and total wall-clock seconds into a process-wide registry.
+:func:`snapshot` returns the registry as plain dicts — the payload behind
+``repro.perf.report()`` and the ``benchmarks/BENCH_kernels.json`` artifact.
+
+Overhead is one ``perf_counter`` pair and a dict update per call, which is
+noise next to the numpy work the kernels do.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable, TypeVar
+
+__all__ = ["instrumented", "snapshot", "reset", "record"]
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_registry: dict[str, dict[str, float]] = {}
+_lock = threading.Lock()
+
+
+def record(name: str, seconds: float) -> None:
+    """Account one call of *name* taking *seconds* of wall time."""
+    with _lock:
+        entry = _registry.setdefault(name, {"calls": 0, "seconds": 0.0})
+        entry["calls"] += 1
+        entry["seconds"] += seconds
+
+
+def instrumented(name: str) -> Callable[[F], F]:
+    """Decorator: count calls to the wrapped kernel and sum their wall time."""
+
+    def decorate(fn: F) -> F:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            t0 = time.perf_counter()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                record(name, time.perf_counter() - t0)
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def snapshot() -> dict[str, dict[str, float]]:
+    """Copy of the per-kernel counters: ``{name: {calls, seconds}}``."""
+    with _lock:
+        return {name: dict(entry) for name, entry in _registry.items()}
+
+
+def reset() -> None:
+    """Zero all per-kernel counters."""
+    with _lock:
+        _registry.clear()

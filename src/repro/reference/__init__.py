@@ -1,0 +1,35 @@
+"""repro.reference — definitional brute-force implementations.
+
+Deliberately naive O(n·k) / O(n²) versions of the hot kernels, written
+straight from the paper's definitions with plain Python loops and no
+shared code with the fast paths.  They exist solely as oracles: the
+differential test suite (``tests/reference/``) checks the memoized /
+vectorized kernels in :mod:`repro.curves.minplus`,
+:mod:`repro.util.staircase`, and :mod:`repro.core.workload` against these
+on hundreds of randomized and degenerate inputs, with the kernel cache
+both on and off.
+
+Never call these from production code paths.
+"""
+
+from repro.reference.envelope import (
+    pseudo_inverse_brute,
+    window_sums_brute,
+    workload_eval_brute,
+    workload_values_brute,
+)
+from repro.reference.minplus import (
+    convolve_at_brute,
+    deconvolve_at_brute,
+    eval_pwl_brute,
+)
+
+__all__ = [
+    "convolve_at_brute",
+    "deconvolve_at_brute",
+    "eval_pwl_brute",
+    "window_sums_brute",
+    "workload_values_brute",
+    "workload_eval_brute",
+    "pseudo_inverse_brute",
+]

@@ -1,0 +1,110 @@
+"""Brute-force workload-curve kernels (oracle only; see package docstring).
+
+Straight transliterations of the paper's Definition 1 and §2.1: window
+sums by re-summation (O(n·k) per window length), the conservative grid
+evaluation rule and additive extension by linear scans, and the
+pseudo-inverses by exhaustive search.  Pure Python, no numpy reductions,
+no code shared with :mod:`repro.util.staircase` or
+:mod:`repro.core.workload`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = [
+    "window_sums_brute",
+    "workload_values_brute",
+    "workload_eval_brute",
+    "pseudo_inverse_brute",
+]
+
+
+def window_sums_brute(demands: Sequence[float], k: int, kind: str) -> float:
+    """``max_j Σ demands[j:j+k]`` (upper) or ``min_j`` (lower), by
+    re-summing every window from scratch — the definitional O(n·k) form of
+    the paper's eqs. (1)/(2)."""
+    values = [float(v) for v in demands]
+    n = len(values)
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}]")
+    best = None
+    for j in range(n - k + 1):
+        total = 0.0
+        for i in range(j, j + k):
+            total += values[i]
+        if best is None:
+            best = total
+        elif kind == "upper":
+            best = max(best, total)
+        else:
+            best = min(best, total)
+    assert best is not None
+    return best
+
+
+def workload_values_brute(
+    demands: Sequence[float], k_values: Sequence[int], kind: str
+) -> list[float]:
+    """The per-``k`` envelope extraction behind ``WorkloadCurve.from_trace``,
+    one brute-force window sweep per grid point."""
+    return [window_sums_brute(demands, int(k), kind) for k in k_values]
+
+
+def workload_eval_brute(
+    k_values: Sequence[int], values: Sequence[float], kind: str, k: int
+) -> float:
+    """``γ(k)`` under the conservative grid rule and additive extension.
+
+    Upper curves round up to the next grid point, lower curves down to the
+    previous one; beyond the horizon ``K`` the additive extension
+    ``γ(qK + r) = q·γ(K) + γ(r)`` applies (module docstring of
+    :mod:`repro.core.workload`).  Linear scans throughout.
+    """
+    ks = [int(v) for v in k_values]
+    vs = [float(v) for v in values]
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if k == 0:
+        return 0.0
+    horizon = ks[-1]
+    if k > horizon:
+        q, r = divmod(k, horizon)
+        return q * vs[-1] + workload_eval_brute(ks, vs, kind, r)
+    if kind == "upper":
+        for grid_k, grid_v in zip(ks, vs):
+            if grid_k >= k:
+                return grid_v
+        raise AssertionError("unreachable: k <= horizon")
+    best = 0.0
+    for grid_k, grid_v in zip(ks, vs):
+        if grid_k <= k:
+            best = grid_v
+        else:
+            break
+    return best
+
+
+def pseudo_inverse_brute(
+    k_values: Sequence[int], values: Sequence[float], kind: str, e: float
+) -> int:
+    """Paper §2.1 pseudo-inverses by exhaustive search.
+
+    Upper: ``γ^{u-1}(e) = max{k : γ^u(k) <= e}`` — walk k upward while the
+    curve stays within budget.  Lower: ``γ^{l-1}(e) = min{k : γ^l(k) >= e}``
+    — walk k upward until the curve reaches the budget.  The additive
+    extension makes both walks terminate.
+    """
+    if e < 0:
+        raise ValueError("e must be >= 0")
+    if kind == "upper":
+        k = 0
+        while workload_eval_brute(k_values, values, kind, k + 1) <= e:
+            k += 1
+        return k
+    if e <= 0:
+        return 0
+    k = 1
+    while workload_eval_brute(k_values, values, kind, k) < e:
+        k += 1
+    return k

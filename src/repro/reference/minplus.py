@@ -1,0 +1,149 @@
+"""Brute-force min-plus operators (oracle only; see package docstring).
+
+``(f ⊗ g)(Δ) = inf_{0<=s<=Δ} f(s) + g(Δ−s)`` and
+``(f ⊘ g)(Δ) = sup_{u>=0} f(Δ+u) − g(u)`` evaluated by exhaustive
+candidate enumeration: every breakpoint configuration, explicit left-limit
+probes at the jumps, plus a dense uniform grid as a safety net.  Pure
+Python loops over Python floats — no vectorization, no caching, no code
+shared with :mod:`repro.curves.minplus`.
+"""
+
+from __future__ import annotations
+
+from repro.curves.curve import PiecewiseLinearCurve
+
+__all__ = ["eval_pwl_brute", "convolve_at_brute", "deconvolve_at_brute"]
+
+#: Uniform safety-net samples added to the candidate sets.
+DENSE_SAMPLES = 257
+
+
+def eval_pwl_brute(curve: PiecewiseLinearCurve, delta: float) -> float:
+    """Right-continuous PWL evaluation by linear segment scan."""
+    xs = [float(v) for v in curve.breakpoints]
+    ys = [float(v) for v in curve.values_at_breakpoints]
+    ss = [float(v) for v in curve.slopes]
+    i = 0
+    for j in range(len(xs)):
+        if xs[j] <= delta:
+            i = j
+        else:
+            break
+    return ys[i] + ss[i] * (delta - xs[i])
+
+
+def _eval0(curve: PiecewiseLinearCurve, x: float) -> float:
+    """Evaluation under the min-plus ``f(0) = 0`` convention."""
+    return 0.0 if x == 0.0 else eval_pwl_brute(curve, x)
+
+
+def _left_limit(curve: PiecewiseLinearCurve, x: float) -> float:
+    """Left limit ``f(x⁻)`` by segment scan (equals f(x) off the jumps)."""
+    if x == 0.0:
+        return float(curve.values_at_breakpoints[0])
+    xs = [float(v) for v in curve.breakpoints]
+    ys = [float(v) for v in curve.values_at_breakpoints]
+    ss = [float(v) for v in curve.slopes]
+    i = 0
+    for j in range(len(xs)):
+        if xs[j] < x:
+            i = j
+        else:
+            break
+    return ys[i] + ss[i] * (x - xs[i])
+
+
+def convolve_at_brute(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, delta: float
+) -> float:
+    """Definitional ``(f ⊗ g)(Δ)``: exhaustive minimum over split points.
+
+    Candidates: breakpoints of ``f``, ``Δ`` minus breakpoints of ``g``
+    (the optimum of a PWL inner function is attained at one of these), the
+    endpoints, and a dense uniform grid.  Jumps are handled by explicitly
+    evaluating the left-limit variant at every candidate — the inf may be
+    approached from just below a discontinuity.
+    """
+    if delta < 0:
+        raise ValueError("delta must be >= 0")
+    # candidates as (s, Δ−s) pairs so the pinned coordinate is exact — the
+    # float round-trip Δ − (Δ − x_g) can land a hair past the breakpoint
+    # and miss its jump otherwise
+    splits: set[tuple[float, float]] = {(0.0, float(delta)), (float(delta), 0.0)}
+    for xf in f.breakpoints:
+        s = float(xf)
+        if 0.0 <= s <= delta:
+            splits.add((s, delta - s))
+    for xg in g.breakpoints:
+        r = float(xg)
+        if 0.0 <= delta - r <= delta:
+            splits.add((delta - r, r))
+    if delta > 0:
+        for i in range(DENSE_SAMPLES):
+            s = delta * i / (DENSE_SAMPLES - 1)
+            splits.add((s, delta - s))
+    best = None
+    for s, rest in splits:
+        # the inner objective h(s) = f(s) + g(Δ−s) is affine between
+        # adjacent candidates, so the inf is the min over candidate values
+        # and one-sided limits.  Only consistent limit pairs are admissible:
+        # s → x⁻ pairs f's left limit with g's right limit, s → x⁺ pairs
+        # f's right limit with g's left limit — never left with left.
+        totals = [_eval0(f, s) + _eval0(g, rest)]
+        if s > 0.0:
+            totals.append(_left_limit(f, s) + eval_pwl_brute(g, rest))
+        if rest > 0.0:
+            totals.append(eval_pwl_brute(f, s) + _left_limit(g, rest))
+        for total in totals:
+            if best is None or total < best:
+                best = total
+    assert best is not None
+    return best
+
+
+def deconvolve_at_brute(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve, delta: float
+) -> float:
+    """Definitional ``(f ⊘ g)(Δ)``: exhaustive supremum over lags ``u``.
+
+    Candidates: breakpoints of ``g``, breakpoints of ``f`` shifted by
+    ``−Δ``, and a dense grid out to well past the last breakpoint (beyond
+    it both curves are affine, and stability ``rate(f) <= rate(g)`` makes
+    the objective non-increasing, so the tail cannot hide the sup).
+    """
+    if delta < 0:
+        raise ValueError("delta must be >= 0")
+    horizon = 1.0
+    for xf in f.breakpoints:
+        horizon = max(horizon, float(xf))
+    for xg in g.breakpoints:
+        horizon = max(horizon, float(xg))
+    horizon = 2.0 * horizon + delta + 1.0
+    # candidates as (u, Δ+u) pairs so the pinned coordinate stays exact
+    # (same float round-trip hazard as in convolve_at_brute)
+    lags: set[tuple[float, float]] = {(0.0, float(delta))}
+    for xg in g.breakpoints:
+        u = float(xg)
+        if u >= 0.0:
+            lags.add((u, delta + u))
+    for xf in f.breakpoints:
+        t = float(xf)
+        if t - delta >= 0.0:
+            lags.add((t - delta, t))
+    for i in range(DENSE_SAMPLES):
+        u = horizon * i / (DENSE_SAMPLES - 1)
+        lags.add((u, delta + u))
+    best = None
+    for u, t in lags:
+        # the objective f(Δ+u) − g(u) is affine between adjacent candidates;
+        # the sup is the max over candidate values and the one consistent
+        # one-sided limit: u → x⁻ pairs f's left limit with g's left limit
+        # (u → x⁺ reproduces the right-continuous values themselves)
+        totals = [eval_pwl_brute(f, t) - _eval0(g, u)]
+        if u > 0.0:
+            totals.append(_left_limit(f, t) - _left_limit(g, u))
+        for total in totals:
+            if best is None or total > best:
+                best = total
+    assert best is not None
+    return best

@@ -13,6 +13,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.perf.cache import digest_of, kernel_cache
+from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError, check_integer
 
 __all__ = [
@@ -20,6 +22,7 @@ __all__ = [
     "sliding_window_min_sum",
     "cumulative_envelope_max",
     "cumulative_envelope_min",
+    "cumulative_envelope_minmax",
     "is_non_decreasing",
     "is_strictly_increasing",
     "make_k_grid",
@@ -65,18 +68,47 @@ def cumulative_envelope_max(values: Sequence[float], k_values: Sequence[int]) ->
     ``k_values`` must be sorted, positive, and bounded by ``len(values)``.
     Returns a float array of the same length as ``k_values``.
     """
-    arr = np.asarray(values, dtype=float)
-    ks = _check_k_values(k_values, arr.size)
-    csum = np.concatenate(([0.0], np.cumsum(arr)))
-    return np.array([np.max(csum[k:] - csum[:-k]) for k in ks], dtype=float)
+    return cumulative_envelope_minmax(values, k_values)[1]
 
 
 def cumulative_envelope_min(values: Sequence[float], k_values: Sequence[int]) -> np.ndarray:
     """Vector of :func:`sliding_window_min_sum` evaluated at each ``k``."""
+    return cumulative_envelope_minmax(values, k_values)[0]
+
+
+def cumulative_envelope_minmax(
+    values: Sequence[float], k_values: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Both envelopes, ``(min_sums, max_sums)``, in one pass over the windows.
+
+    This is the per-``k`` extraction kernel behind
+    :meth:`repro.core.workload.WorkloadCurve.from_trace`: the window-sum
+    differences are computed once and reduced under ``min`` and ``max``
+    simultaneously, so extracting a :class:`~repro.core.workload
+    .WorkloadCurvePair` costs one sweep instead of two.  Results are
+    memoized by content digest of ``(values, k_values)`` — the second curve
+    of a pair, and any re-extraction during a sweep, is a cache hit.
+    """
     arr = np.asarray(values, dtype=float)
     ks = _check_k_values(k_values, arr.size)
+    key = ("staircase.envelope_minmax", digest_of(arr, ks))
+    lo, hi = kernel_cache.get_or_compute(key, lambda: _envelope_minmax(arr, ks))
+    return lo.copy(), hi.copy()
+
+
+@instrumented("staircase.envelope_minmax")
+def _envelope_minmax(arr: np.ndarray, ks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     csum = np.concatenate(([0.0], np.cumsum(arr)))
-    return np.array([np.min(csum[k:] - csum[:-k]) for k in ks], dtype=float)
+    lo = np.empty(ks.size, dtype=float)
+    hi = np.empty(ks.size, dtype=float)
+    # one reusable buffer: the window-sum vector shrinks as k grows, so the
+    # largest (k = ks[0]) allocation is made once and sliced thereafter
+    buf = np.empty(csum.size - int(ks[0]), dtype=float)
+    for i, k in enumerate(ks):
+        diffs = np.subtract(csum[k:], csum[:-k], out=buf[: csum.size - k])
+        lo[i] = diffs.min()
+        hi[i] = diffs.max()
+    return lo, hi
 
 
 def is_non_decreasing(values: Iterable[float]) -> bool:

@@ -1,0 +1,80 @@
+"""Satellite bugfix: curve classes define __eq__ AND a consistent __hash__.
+
+Before this change ``WorkloadCurve`` and ``PiecewiseLinearCurve`` defined
+``__eq__`` without ``__hash__``, so instances were unhashable and could not
+serve as dict keys / set members (or cache-key components).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.workload import WorkloadCurve
+from repro.curves.curve import PiecewiseLinearCurve, linear_curve, step_curve
+
+
+def _wc(kind="upper"):
+    return WorkloadCurve(kind, [1, 2, 4], [2.0, 4.0, 7.0])
+
+
+class TestWorkloadCurveHash:
+    def test_equal_curves_hash_equal(self):
+        a, b = _wc(), _wc()
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_allclose_values_hash_equal(self):
+        # __eq__ is allclose on values, so equal curves with tiny value
+        # noise must still land in the same hash bucket
+        a = _wc()
+        b = WorkloadCurve("upper", [1, 2, 4], [2.0, 4.0, 7.0 + 1e-9])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_usable_in_sets_and_dicts(self):
+        a, b, c = _wc(), _wc(), _wc("lower")
+        assert len({a, b}) == 1
+        table = {a: "first"}
+        table[b] = "second"  # same key: overwrites
+        table[c] = "lower"
+        assert table[a] == "second"
+        assert len(table) == 2
+
+    def test_different_kind_or_grid_not_equal(self):
+        upper = _wc()
+        other_grid = WorkloadCurve("upper", [1, 2, 5], [2.0, 4.0, 7.0])
+        assert upper != _wc("lower")
+        assert upper != other_grid
+
+
+class TestPiecewiseLinearCurveHash:
+    def test_equal_curves_hash_equal(self):
+        a = linear_curve(2.0, offset=1.0)
+        b = linear_curve(2.0, offset=1.0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unsimplified_representation_hashes_like_simplified(self):
+        # two representations of the same function: one with a redundant
+        # collinear breakpoint; __eq__ simplifies, so hash must agree
+        plain = PiecewiseLinearCurve([0.0], [0.0], [2.0])
+        redundant = PiecewiseLinearCurve([0.0, 1.0], [0.0, 2.0], [2.0, 2.0])
+        assert plain == redundant
+        assert hash(plain) == hash(redundant)
+
+    def test_usable_in_sets_and_dicts(self):
+        a = step_curve([1.0, 2.0])
+        b = step_curve([1.0, 2.0])
+        assert len({a, b}) == 1
+        assert {a: "x"}[b] == "x"
+
+    def test_hash_is_cached_and_stable(self):
+        a = step_curve([1.0, 2.0, 3.0])
+        assert hash(a) == hash(a)
+
+    def test_numpy_array_equal_roundtrip_preserves_equality_and_hash(self):
+        a = step_curve([1.0, 2.0])
+        b = PiecewiseLinearCurve(a.breakpoints, a.values_at_breakpoints, a.slopes)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert np.array_equal(a.breakpoints, b.breakpoints)

@@ -1,0 +1,98 @@
+"""Golden regression tests pinning the EXPERIMENTS.md headline numbers.
+
+These freeze the externally-reported results of the reproduction — the
+Figure 1 windowed demand sums, the Figure 2 polling staircase, and the
+minimum-frequency ratio of §3.2 — so a refactor of the kernels (caching,
+vectorization, ...) that shifts any published number fails loudly instead
+of silently invalidating EXPERIMENTS.md.
+
+All inputs are deterministic (fixed seeds), so the assertions are tight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.workload import WorkloadCurvePair
+from repro.experiments.fig1_sequence import FIGURE1_SEQUENCE, figure1_trace
+from repro.experiments.fig2_polling import default_polling_task
+
+
+class TestFigure1Golden:
+    """E1 — paper Figure 1: γ_b(3,4) = 5 and γ_w(3,4) = 13, exact."""
+
+    def test_sequence_is_the_papers(self):
+        assert FIGURE1_SEQUENCE == "ababccaac"
+
+    def test_windowed_demand_sums(self):
+        trace = figure1_trace()
+        assert trace.gamma_b(3, 4) == 5.0
+        assert trace.gamma_w(3, 4) == 13.0
+
+    def test_derived_workload_curves(self):
+        pair = WorkloadCurvePair.from_trace(figure1_trace(), demands="interval")
+        ks = np.arange(1, 10)
+        assert np.array_equal(
+            pair.upper(ks), [4.0, 8.0, 11.0, 14.0, 17.0, 21.0, 24.0, 28.0, 31.0]
+        )
+        assert np.array_equal(
+            pair.lower(ks), [1.0, 2.0, 3.0, 5.0, 6.0, 8.0, 10.0, 11.0, 13.0]
+        )
+        # inside the k·BCET / k·WCET cone: the upper curve strictly from
+        # k = 3, the lower curve touches at k = 3 and is strict from k = 4
+        assert np.all(pair.upper(ks[2:]) < ks[2:] * 4.0)
+        assert np.all(pair.lower(ks[2:]) >= ks[2:] * 1.0)
+        assert np.all(pair.lower(ks[3:]) > ks[3:] * 1.0)
+
+
+class TestFigure2Golden:
+    """E2 — paper Figure 2: the polling-task staircase, closed form."""
+
+    def test_staircase_prefix(self):
+        pair = default_polling_task().curves(20)
+        assert np.array_equal(
+            pair.upper(np.arange(1, 7)), [8.0, 10.0, 18.0, 20.0, 22.0, 30.0]
+        )
+
+    def test_closed_form_on_full_range(self):
+        task = default_polling_task()
+        pair = task.curves(20)
+        for k in range(1, 21):
+            n_max = min(k, 1 + int(k * task.period // task.theta_min))
+            assert pair.upper(k) == n_max * task.e_p + (k - n_max) * task.e_c
+
+    def test_grey_area_gain_at_k12(self):
+        # EXPERIMENTS.md reports 43.8 % at k = 12 (0.4375 exactly)
+        assert default_polling_task().curves(20).gain_over_wcet(12) == pytest.approx(
+            0.4375, abs=1e-12
+        )
+
+
+class TestFrequencyRatioGolden:
+    """E5 — §3.2: F^w_min / F^γ_min ≈ 2 on the reduced (12-frame) context.
+
+    The full-fidelity run (EXPERIMENTS.md: 364.2 vs 758.7 MHz, ratio 2.08)
+    is too slow for tier-1; the 12-frame context is bit-reproducible, so
+    its bounds are pinned exactly and guard the same code paths.
+    """
+
+    def test_frequency_bounds_pinned(self, small_context):
+        fg = small_context.f_gamma
+        fw = small_context.f_wcet
+        assert fg.frequency == pytest.approx(362200179.80102134, rel=1e-9)
+        assert fw.frequency == pytest.approx(766533769.6741034, rel=1e-9)
+        assert fg.method == "workload-curves"
+        assert fw.method == "wcet"
+
+    def test_ratio_matches_papers_factor_two(self, small_context):
+        ratio = small_context.f_wcet.frequency / small_context.f_gamma.frequency
+        assert ratio == pytest.approx(2.1163, abs=1e-3)
+        # the headline claim: workload curves roughly halve the required
+        # frequency relative to WCET-only dimensioning
+        assert 1.8 < ratio < 2.5
+
+    def test_both_bounds_share_the_critical_window(self, small_context):
+        assert small_context.f_gamma.critical_delta == pytest.approx(
+            small_context.f_wcet.critical_delta, rel=1e-12
+        )
