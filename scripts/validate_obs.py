@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""Validate observability artifacts emitted by ``python -m repro``.
+
+Checks a trace JSONL file, a metrics snapshot, and (optionally) run
+manifests against the ``repro.obs`` schemas, using only the standard
+library so CI can run it without the package installed.
+
+Usage::
+
+    python scripts/validate_obs.py --trace trace.jsonl \
+        --metrics metrics.json --manifest-dir obs-out
+
+Exits non-zero with a message on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TRACE_KEYS = {"name", "ts", "dur", "id", "parent", "thread", "attrs"}
+METRIC_SECTIONS = ("counters", "gauges", "histograms")
+MANIFEST_KEYS = {
+    "schema",
+    "experiment_id",
+    "title",
+    "paper_reference",
+    "parameters",
+    "inputs",
+    "seed",
+    "version",
+    "wall_time_s",
+    "metrics",
+    "data_digest",
+}
+
+
+def fail(message: str) -> None:
+    sys.exit(f"validate_obs: {message}")
+
+
+def validate_trace(path: Path) -> int:
+    ids = set()
+    count = 0
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno}: invalid JSON: {exc}")
+        missing = TRACE_KEYS - record.keys()
+        if missing:
+            fail(f"{path}:{lineno}: span missing keys {sorted(missing)}")
+        if not isinstance(record["name"], str) or not record["name"]:
+            fail(f"{path}:{lineno}: span name must be a non-empty string")
+        if record["dur"] < 0 or record["ts"] < 0:
+            fail(f"{path}:{lineno}: negative timestamp/duration")
+        if not isinstance(record["attrs"], dict):
+            fail(f"{path}:{lineno}: attrs must be an object")
+        ids.add(record["id"])
+        count += 1
+    if count == 0:
+        fail(f"{path}: no spans recorded")
+    # every non-null parent must reference a recorded span
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        parent = json.loads(line)["parent"]
+        if parent is not None and parent not in ids:
+            fail(f"{path}:{lineno}: dangling parent id {parent}")
+    return count
+
+
+def validate_metrics(path: Path) -> int:
+    try:
+        snapshot = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: invalid JSON: {exc}")
+    if snapshot.get("schema") != "repro.metrics/1":
+        fail(f"{path}: unexpected schema {snapshot.get('schema')!r}")
+    total = 0
+    for section in METRIC_SECTIONS:
+        series = snapshot.get(section)
+        if not isinstance(series, list):
+            fail(f"{path}: section {section!r} must be a list")
+        for entry in series:
+            if not isinstance(entry.get("name"), str):
+                fail(f"{path}: {section} entry without a name")
+            if not isinstance(entry.get("labels"), dict):
+                fail(f"{path}: {entry.get('name')}: labels must be an object")
+            if section == "counters" and entry.get("value", -1) < 0:
+                fail(f"{path}: counter {entry['name']} is negative")
+            if section == "histograms":
+                if len(entry["counts"]) != len(entry["buckets"]) + 1:
+                    fail(f"{path}: histogram {entry['name']} bucket/count mismatch")
+                if sum(entry["counts"]) != entry["count"]:
+                    fail(f"{path}: histogram {entry['name']} count mismatch")
+        total += len(series)
+    if total == 0:
+        fail(f"{path}: snapshot has no series at all")
+    return total
+
+
+def validate_manifest(path: Path) -> None:
+    try:
+        manifest = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: invalid JSON: {exc}")
+    if manifest.get("schema") != "repro.run-manifest/1":
+        fail(f"{path}: unexpected schema {manifest.get('schema')!r}")
+    missing = MANIFEST_KEYS - manifest.keys()
+    if missing:
+        fail(f"{path}: manifest missing keys {sorted(missing)}")
+    if manifest["wall_time_s"] < 0:
+        fail(f"{path}: negative wall time")
+    if not isinstance(manifest["parameters"], dict):
+        fail(f"{path}: parameters must be an object")
+    for name, digest in manifest["inputs"].items():
+        if not isinstance(digest, str) or not digest:
+            fail(f"{path}: input {name!r} has no digest")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", type=Path, help="trace JSONL file to validate")
+    parser.add_argument("--metrics", type=Path, help="metrics snapshot to validate")
+    parser.add_argument(
+        "--manifest-dir", type=Path, help="directory of *.manifest.json files"
+    )
+    args = parser.parse_args(argv)
+    if not (args.trace or args.metrics or args.manifest_dir):
+        parser.error("nothing to validate")
+
+    if args.trace:
+        spans = validate_trace(args.trace)
+        print(f"{args.trace}: {spans} spans ok")
+    if args.metrics:
+        series = validate_metrics(args.metrics)
+        print(f"{args.metrics}: {series} series ok")
+    if args.manifest_dir:
+        manifests = sorted(args.manifest_dir.glob("*.manifest.json"))
+        if not manifests:
+            fail(f"{args.manifest_dir}: no *.manifest.json files found")
+        for path in manifests:
+            validate_manifest(path)
+        print(f"{args.manifest_dir}: {len(manifests)} manifests ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,27 +2,43 @@
 
 Usage::
 
-    python -m repro                 # run the light experiments (E1-E3, E8)
+    python -m repro                 # run the light experiments (E1-E3)
     python -m repro all             # run everything (case study: ~1 min)
     python -m repro E5 E6           # run specific experiments
     python -m repro --list          # show available experiment ids
     python -m repro all --frames 24 # faster, lower-fidelity case study
+
+Observability (see ``docs/observability.md``)::
+
+    python -m repro E1 --trace trace.jsonl        # span timeline (JSONL)
+    python -m repro E1 --trace t.json --trace-format chrome   # Perfetto
+    python -m repro E1 --metrics-out metrics.json # counters/gauges/histograms
+    python -m repro E1 --out-dir out/             # E1.txt + E1.manifest.json
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
+import json
 import sys
 
 from repro.experiments import ALL_EXPERIMENTS
+from repro.obs.metrics import registry
+from repro.obs.tracing import tracer
 
-#: Experiments that run in well under a second.
+#: Experiments that run in well under a second (the no-argument default).
 LIGHT = ("E1", "E2", "E3")
-#: Experiments needing the full case-study context.
-HEAVY = ("E4", "E5", "E6", "E7", "E8", "A1", "A2", "A3", "A4", "A6")
+
+
+def _accepts_frames(run) -> bool:
+    """True if *run* takes a ``frames`` keyword (harness wrappers are
+    transparent to :func:`inspect.signature`)."""
+    return "frames" in inspect.signature(run).parameters
 
 
 def main(argv: list[str] | None = None) -> int:
+    ids = ", ".join(ALL_EXPERIMENTS)
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the figures/tables of Maxiaguine et al., DATE 2004.",
@@ -30,14 +46,41 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiment ids (E1..E8, A1, A2), 'all', or empty for the light set",
+        help=f"experiment ids ({ids}), 'all', or empty for the light set "
+        f"({', '.join(LIGHT)})",
     )
     parser.add_argument("--list", action="store_true", help="list experiment ids")
     parser.add_argument(
         "--frames",
         type=int,
-        default=72,
-        help="frames per clip for the case-study experiments (default 72)",
+        default=None,
+        help="frames per clip for experiments that take a frames parameter "
+        "(default: each experiment's own default, typically 72)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="enable tracing and write the span timeline to PATH",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=("jsonl", "chrome"),
+        default="jsonl",
+        help="trace file format: 'jsonl' (one span per line) or 'chrome' "
+        "(trace_event JSON for Perfetto / about:tracing)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write a metrics snapshot (counters/gauges/histograms) to PATH",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="DIR",
+        default=None,
+        help="write each experiment's text report and run manifest into DIR",
     )
     args = parser.parse_args(argv)
 
@@ -51,16 +94,34 @@ def main(argv: list[str] | None = None) -> int:
         requested = list(ALL_EXPERIMENTS)
     unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiment ids: {', '.join(unknown)}")
+        parser.error(f"unknown experiment ids: {', '.join(unknown)} (known: {ids})")
 
-    for exp_id in requested:
-        run = ALL_EXPERIMENTS[exp_id]
-        kwargs = {}
-        if exp_id in ("E4", "E5", "E6", "E7", "E8", "A1", "A3", "A4", "A6"):
-            kwargs["frames"] = args.frames
-        result = run(**kwargs)
-        print(result)
-        print()
+    if args.trace:
+        tracer.enable()
+        tracer.reset()
+
+    with tracer.span("cli", experiments=",".join(requested)):
+        for exp_id in requested:
+            run = ALL_EXPERIMENTS[exp_id]
+            kwargs = {}
+            if args.frames is not None and _accepts_frames(run):
+                kwargs["frames"] = args.frames
+            result = run(**kwargs)
+            print(result)
+            print()
+            if args.out_dir:
+                result.write(args.out_dir)
+
+    if args.trace:
+        if args.trace_format == "chrome":
+            tracer.export_chrome(args.trace)
+        else:
+            tracer.export_jsonl(args.trace)
+        tracer.disable()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
 
 

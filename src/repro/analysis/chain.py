@@ -28,6 +28,7 @@ from repro.analysis.conversion import arrival_events_to_cycles
 from repro.core.workload import WorkloadCurve
 from repro.curves.bounds import delay_bound as _horizontal
 from repro.curves.curve import PiecewiseLinearCurve
+from repro.obs.tracing import tracer
 from repro.perf.batch import convolve_reduce
 from repro.util.validation import ValidationError
 
@@ -126,28 +127,30 @@ class StreamingChain:
         """
         reports: list[NodeReport] = []
         alpha = alpha_events
-        for node in self.nodes:
-            cycles_in = arrival_events_to_cycles(alpha, node.gamma_u)
-            if cycles_in.final_slope > node.service.final_slope + 1e-9:
-                raise ValidationError(
-                    f"node {node.name!r} is unstable: demand rate "
-                    f"{cycles_in.final_slope:g} exceeds service rate "
-                    f"{node.service.final_slope:g}"
+        with tracer.span("chain.analyze", nodes=len(self.nodes)):
+            for node in self.nodes:
+                with tracer.span("chain.node", node=node.name):
+                    cycles_in = arrival_events_to_cycles(alpha, node.gamma_u)
+                    if cycles_in.final_slope > node.service.final_slope + 1e-9:
+                        raise ValidationError(
+                            f"node {node.name!r} is unstable: demand rate "
+                            f"{cycles_in.final_slope:g} exceeds service rate "
+                            f"{node.service.final_slope:g}"
+                        )
+                    backlog = backlog_bound_events(alpha, node.service, node.gamma_u)
+                    delay = _horizontal(cycles_in, node.service)
+                    out_events = _shift_time(alpha, delay)
+                    utilization = cycles_in.final_slope / node.service.final_slope
+                reports.append(
+                    NodeReport(
+                        name=node.name,
+                        backlog_events=backlog,
+                        delay=delay,
+                        output_curve=out_events,
+                        utilization=utilization,
+                    )
                 )
-            backlog = backlog_bound_events(alpha, node.service, node.gamma_u)
-            delay = _horizontal(cycles_in, node.service)
-            out_events = _shift_time(alpha, delay)
-            utilization = cycles_in.final_slope / node.service.final_slope
-            reports.append(
-                NodeReport(
-                    name=node.name,
-                    backlog_events=backlog,
-                    delay=delay,
-                    output_curve=out_events,
-                    utilization=utilization,
-                )
-            )
-            alpha = out_events
+                alpha = out_events
         return ChainReport(tuple(reports))
 
     def end_to_end_delay(self, alpha_events: PiecewiseLinearCurve) -> float:
@@ -163,6 +166,10 @@ class StreamingChain:
         normalization can be loose, which is why the minimum with the
         per-hop sum is returned — both are valid bounds.
         """
+        with tracer.span("chain.end_to_end_delay", nodes=len(self.nodes)):
+            return self._end_to_end_delay(alpha_events)
+
+    def _end_to_end_delay(self, alpha_events: PiecewiseLinearCurve) -> float:
         report = self.analyze(alpha_events)
         first = self.nodes[0]
         cycles_in = arrival_events_to_cycles(alpha_events, first.gamma_u)

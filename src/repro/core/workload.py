@@ -48,6 +48,7 @@ from typing import Literal, Sequence
 import numpy as np
 
 from repro.core.trace import EventTrace
+from repro.obs.tracing import tracer
 from repro.util.staircase import (
     cumulative_envelope_max,
     cumulative_envelope_min,
@@ -139,10 +140,14 @@ class WorkloadCurve:
         else:
             raise ValidationError(f"unknown demands mode {demands!r}")
         ks = make_k_grid(len(trace)) if k_values is None else np.asarray(k_values, np.int64)
-        if kind == "upper":
-            vs = cumulative_envelope_max(per_event, ks)
-        else:
-            vs = cumulative_envelope_min(per_event, ks)
+        with tracer.span(
+            "workload.extract", source="trace", kind=kind,
+            events=int(per_event.size), grid=int(ks.size),
+        ):
+            if kind == "upper":
+                vs = cumulative_envelope_max(per_event, ks)
+            else:
+                vs = cumulative_envelope_min(per_event, ks)
         return cls(kind, ks, vs)
 
     @classmethod
@@ -166,10 +171,14 @@ class WorkloadCurve:
         if np.any(per_event <= 0) or not np.all(np.isfinite(per_event)):
             raise ValidationError("demands must be positive and finite")
         ks = make_k_grid(per_event.size) if k_values is None else np.asarray(k_values, np.int64)
-        if kind == "upper":
-            vs = cumulative_envelope_max(per_event, ks)
-        else:
-            vs = cumulative_envelope_min(per_event, ks)
+        with tracer.span(
+            "workload.extract", source="demand-array", kind=kind,
+            events=int(per_event.size), grid=int(ks.size),
+        ):
+            if kind == "upper":
+                vs = cumulative_envelope_max(per_event, ks)
+            else:
+                vs = cumulative_envelope_min(per_event, ks)
         return cls(kind, ks, vs)
 
     @classmethod

@@ -95,6 +95,11 @@ def delay_bound(alpha: PiecewiseLinearCurve, beta: PiecewiseLinearCurve) -> floa
     for bp in beta.breakpoints:
         far = max(far, float(bp) + 1.0)
     cands.add(far)
+    # right-limit probes: where α leaves 0 with positive slope (e.g. a
+    # burstless leaky bucket) the sup is approached from the right of a
+    # candidate — the candidate itself has demand 0 and is skipped below
+    for delta in list(cands):
+        cands.add(delta + EPS_REL * max(1.0, abs(delta)))
     worst = 0.0
     for delta in sorted(cands):
         demand = float(alpha(delta))

@@ -244,8 +244,12 @@ class PiecewiseLinearCurve:
         for i in range(1, self._x.size):
             px, py, ps = self._x[keep[-1]], self._y[keep[-1]], self._s[keep[-1]]
             expected = py + ps * (self._x[i] - px)
+            # slopes must match in *relative* terms: an absolute tolerance
+            # would be amplified by the segment span into a value error the
+            # constructor's monotonicity check rejects (e.g. merging slopes
+            # 1e-12 and 0 over a span of 3 manufactures a downward jump)
             if np.isclose(expected, self._y[i], rtol=1e-12, atol=1e-12) and np.isclose(
-                ps, self._s[i], rtol=1e-12, atol=1e-12
+                ps, self._s[i], rtol=1e-12, atol=0.0
             ):
                 continue
             keep.append(i)

@@ -33,7 +33,10 @@ The candidate-line construction and the envelope sweep are vectorized
 (per-interval batch numpy instead of per-breakpoint Python), and the full
 curve operators are memoized by operand content digest through
 :mod:`repro.perf.cache` — a design-space sweep that re-convolves the same
-pair pays for the construction once.  The fast paths are validated against
+pair pays for the construction once.  Every kernel body reports call
+counts and timing histograms into the :mod:`repro.obs` metrics registry
+and, when tracing is enabled, opens a span carrying the operand segment
+counts.  The fast paths are validated against
 the definitional brute-force implementations in :mod:`repro.reference` by
 the differential-oracle suite.
 """
@@ -280,7 +283,12 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinea
     return kernel_cache.get_or_compute(key, lambda: _convolve_impl(f, g))
 
 
-@instrumented("minplus.convolve")
+def _pair_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
+    """Span attributes of a binary curve kernel (only built while tracing)."""
+    return {"f_segments": int(f.breakpoints.size), "g_segments": int(g.breakpoints.size)}
+
+
+@instrumented("minplus.convolve", attrs=_pair_attrs)
 def _convolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)
@@ -363,7 +371,7 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLin
     return kernel_cache.get_or_compute(key, lambda: _deconvolve_impl(f, g))
 
 
-@instrumented("minplus.deconvolve")
+@instrumented("minplus.deconvolve", attrs=_pair_attrs)
 def _deconvolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)
@@ -425,7 +433,13 @@ def self_convolution_fixpoint(
     return kernel_cache.get_or_compute(key, lambda: _self_fixpoint_impl(f, iterations))
 
 
-@instrumented("minplus.self_fixpoint")
+@instrumented(
+    "minplus.self_fixpoint",
+    attrs=lambda f, iterations: {
+        "segments": int(f.breakpoints.size),
+        "iterations": int(iterations),
+    },
+)
 def _self_fixpoint_impl(f: PiecewiseLinearCurve, iterations: int) -> PiecewiseLinearCurve:
     h = f
     for _ in range(iterations):

@@ -26,6 +26,7 @@ from repro.experiments.common import (
     CaseStudyContext,
     ExperimentResult,
     case_study_context,
+    harnessed,
 )
 from repro.experiments import (
     fig1_sequence,
@@ -66,5 +67,6 @@ __all__ = [
     "CaseStudyContext",
     "ExperimentResult",
     "case_study_context",
+    "harnessed",
     "ALL_EXPERIMENTS",
 ]

@@ -9,12 +9,13 @@ sweep quantifies that (the paper only evaluates b = one frame).
 from __future__ import annotations
 
 from repro.analysis.frequency import minimum_frequency_sweep
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable, format_quantity
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(
     *,
     frames: int = 72,

@@ -13,7 +13,7 @@ from repro.analysis.frequency import minimum_frequency_curves, minimum_frequency
 from repro.core.operations import envelope_upper
 from repro.core.workload import WorkloadCurve
 from repro.curves.arrival import from_trace_upper
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, harnessed
 from repro.mpeg.clips import CLIP_PROFILES
 from repro.mpeg.bitstream import SyntheticClip
 from repro.mpeg.demand import IDCT_MC_MODEL, StageDemandModel
@@ -33,6 +33,7 @@ def _model_with_stalls(stall_extra: float) -> StageDemandModel:
     )
 
 
+@harnessed
 def run(
     *,
     frames: int = 24,

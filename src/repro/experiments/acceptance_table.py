@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, harnessed
 from repro.scheduling.generator import random_variable_task_set
 from repro.scheduling.rms import rms_test_classic, rms_test_curves
 from repro.util.report import TextTable, ascii_xy_plot
@@ -21,6 +21,7 @@ from repro.util.report import TextTable, ascii_xy_plot
 __all__ = ["run"]
 
 
+@harnessed
 def run(
     *,
     utilizations: tuple[float, ...] = (0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8),

@@ -16,13 +16,14 @@ from repro.core.workload import WorkloadCurve
 from repro.curves.arrival import leaky_bucket
 from repro.curves.bounds import backlog_bound
 from repro.curves.service import full_processor, rate_latency
-from repro.experiments.common import ExperimentResult, case_study_context
+from repro.experiments.common import ExperimentResult, case_study_context, harnessed
 from repro.simulation.pipeline import replay_pipeline
 from repro.util.report import TextTable, format_quantity
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(*, frames: int = 72, headroom: float = 1.08) -> ExperimentResult:
     """Backlog bounds: closed-form check plus the MPEG-2 comparison at
     ``F = headroom · F^γ_min``."""

@@ -5,13 +5,27 @@ returns an :class:`ExperimentResult` — a machine-readable payload plus a
 rendered text report.  The heavyweight MPEG-2 preparation (clip generation,
 curve extraction, envelopes) is shared across experiments through a cached
 :class:`CaseStudyContext`.
+
+Every ``run`` function is wrapped with :func:`harnessed`, which ties the
+experiment into the :mod:`repro.obs` layer: the run executes under a
+tracing span named ``experiment:<id>``, and the returned result carries a
+*run manifest* — parameters (defaults applied), content digests of the
+inputs consumed (the case-study context records the blake2b digest of its
+clip demand traces), seed, package version, wall time, and a metrics
+snapshot.  Manifests of identical runs are identical up to their timing
+fields (see :func:`repro.obs.manifest.stable_view`).
 """
 
 from __future__ import annotations
 
+import functools
+import inspect
+import time
 from dataclasses import dataclass, field
-from typing import Any
+from pathlib import Path
+from typing import Any, Callable
 
+from repro import obs
 from repro.analysis.frequency import (
     FrequencyBound,
     minimum_frequency_curves,
@@ -23,10 +37,17 @@ from repro.curves.arrival import from_trace_upper
 from repro.curves.curve import PiecewiseLinearCurve
 from repro.mpeg.bitstream import SyntheticClip
 from repro.mpeg.clips import standard_clips
+from repro.perf.cache import digest_of
 from repro.util.staircase import make_k_grid
 from repro.util.validation import check_integer
 
-__all__ = ["ExperimentResult", "CaseStudyContext", "case_study_context", "BUFFER_ONE_FRAME"]
+__all__ = [
+    "ExperimentResult",
+    "CaseStudyContext",
+    "case_study_context",
+    "harnessed",
+    "BUFFER_ONE_FRAME",
+]
 
 #: The paper's FIFO size: one frame of macroblocks.
 BUFFER_ONE_FRAME = 1620
@@ -48,6 +69,10 @@ class ExperimentResult:
         Rendered text (tables/ascii charts) comparable against the paper.
     data:
         Machine-readable results for tests and downstream analysis.
+    manifest:
+        Run manifest (see :mod:`repro.obs.manifest`) attached by
+        :func:`harnessed`; ``None`` only if the run function was invoked
+        without the harness.
     """
 
     experiment_id: str
@@ -55,10 +80,72 @@ class ExperimentResult:
     paper_reference: str
     report: str
     data: dict[str, Any] = field(default_factory=dict)
+    manifest: dict[str, Any] | None = None
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         header = f"[{self.experiment_id}] {self.title} ({self.paper_reference})"
         return f"{header}\n{'=' * len(header)}\n{self.report}"
+
+    def write(self, directory: str | Path) -> tuple[Path, Path | None]:
+        """Write the text report (``<id>.txt``) and, when present, the run
+        manifest (``<id>.manifest.json``) into *directory*.
+
+        Returns the two paths (manifest path is ``None`` if there is no
+        manifest).  The directory is created if needed.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        report_path = directory / f"{self.experiment_id}.txt"
+        report_path.write_text(str(self) + "\n", encoding="utf-8")
+        manifest_path: Path | None = None
+        if self.manifest is not None:
+            manifest_path = directory / f"{self.experiment_id}.manifest.json"
+            obs.write_manifest(self.manifest, manifest_path)
+        return report_path, manifest_path
+
+
+def harnessed(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+    """Wrap an experiment ``run`` function with the observability harness.
+
+    The wrapped call executes inside a tracing span (renamed to
+    ``experiment:<id>`` once the result's id is known), collects the input
+    digests recorded while it ran (see
+    :func:`repro.obs.manifest.record_input`), and attaches a run manifest
+    to the returned :class:`ExperimentResult`.
+
+    Parameters are captured with defaults applied, so a default run and an
+    explicit ``run(frames=72)`` produce the same manifest.  A parameter
+    named ``seed`` is additionally surfaced as the manifest's top-level
+    seed.
+    """
+    signature = inspect.signature(run)
+
+    @functools.wraps(run)
+    def wrapper(*args: Any, **kwargs: Any) -> ExperimentResult:
+        bound = signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        parameters = dict(bound.arguments)
+        t0 = time.perf_counter()
+        with obs.collecting_inputs() as inputs:
+            with obs.tracer.span("experiment", module=run.__module__) as span:
+                result = run(*args, **kwargs)
+                span.rename(f"experiment:{result.experiment_id}")
+                span.set("experiment_id", result.experiment_id)
+        wall = time.perf_counter() - t0
+        result.manifest = obs.build_manifest(
+            experiment_id=result.experiment_id,
+            title=result.title,
+            paper_reference=result.paper_reference,
+            parameters=parameters,
+            inputs=inputs,
+            seed=parameters.get("seed"),
+            wall_time_s=wall,
+            metrics=obs.registry.snapshot(),
+            data_digest=obs.digest_json(result.data),
+        )
+        return result
+
+    return wrapper
 
 
 @dataclass
@@ -83,6 +170,7 @@ class CaseStudyContext:
     bcet: float
     f_gamma: FrequencyBound
     f_wcet: FrequencyBound
+    input_digest: str = ""
 
     @property
     def clip_names(self) -> list[str]:
@@ -110,48 +198,64 @@ def case_study_context(
     buffer_size = check_integer(buffer_size, "buffer_size", minimum=1)
     key = (frames, buffer_size, dense_limit, growth)
     if key in _CONTEXT_CACHE:
-        return _CONTEXT_CACHE[key]
+        ctx = _CONTEXT_CACHE[key]
+        obs.record_input("case_study_context", ctx.input_digest)
+        return ctx
 
-    clips = standard_clips(frames=frames)
-    gammas_u: list[WorkloadCurve] = []
-    gammas_l: list[WorkloadCurve] = []
-    alphas: list[PiecewiseLinearCurve] = []
-    for clip in clips:
-        data = clip.generate()
-        k_grid = make_k_grid(data.pe2_cycles.size, dense_limit=dense_limit, growth=growth)
-        gammas_u.append(
-            WorkloadCurve.from_demand_array(data.pe2_cycles, "upper", k_values=k_grid)
+    with obs.tracer.span(
+        "case_study.build", frames=frames, buffer_size=buffer_size
+    ):
+        clips = standard_clips(frames=frames)
+        gammas_u: list[WorkloadCurve] = []
+        gammas_l: list[WorkloadCurve] = []
+        alphas: list[PiecewiseLinearCurve] = []
+        digest_parts: list[Any] = [frames, buffer_size, dense_limit, growth]
+        for clip in clips:
+            with obs.tracer.span("case_study.clip", clip=clip.profile.name):
+                data = clip.generate()
+                digest_parts += [clip.profile.name, data.pe2_cycles, data.pe1_output]
+                k_grid = make_k_grid(
+                    data.pe2_cycles.size, dense_limit=dense_limit, growth=growth
+                )
+                gammas_u.append(
+                    WorkloadCurve.from_demand_array(data.pe2_cycles, "upper", k_values=k_grid)
+                )
+                gammas_l.append(
+                    WorkloadCurve.from_demand_array(data.pe2_cycles, "lower", k_values=k_grid)
+                )
+                n_grid = make_k_grid(
+                    data.pe1_output.size, dense_limit=dense_limit, growth=growth
+                )
+                alphas.append(from_trace_upper(data.pe1_output, n_values=n_grid))
+
+        with obs.tracer.span("case_study.envelopes", clips=len(clips)):
+            gamma_u = envelope_upper(gammas_u)
+            gamma_l = envelope_lower(gammas_l)
+            alpha = alphas[0]
+            for a in alphas[1:]:
+                alpha = alpha.maximum(a)
+        wcet = max(g.per_activation_bound for g in gammas_u)
+        bcet = min(g.per_activation_bound for g in gammas_l)
+        with obs.tracer.span("case_study.frequency_bounds"):
+            f_gamma = minimum_frequency_curves(alpha, gamma_u, buffer_size)
+            f_wcet = minimum_frequency_wcet(alpha, wcet, buffer_size)
+
+        ctx = CaseStudyContext(
+            frames=frames,
+            buffer_size=buffer_size,
+            clips=clips,
+            gammas_upper=gammas_u,
+            gammas_lower=gammas_l,
+            alphas=alphas,
+            gamma_u=gamma_u,
+            gamma_l=gamma_l,
+            alpha=alpha,
+            wcet=wcet,
+            bcet=bcet,
+            f_gamma=f_gamma,
+            f_wcet=f_wcet,
+            input_digest=digest_of(*digest_parts).hex(),
         )
-        gammas_l.append(
-            WorkloadCurve.from_demand_array(data.pe2_cycles, "lower", k_values=k_grid)
-        )
-        n_grid = make_k_grid(data.pe1_output.size, dense_limit=dense_limit, growth=growth)
-        alphas.append(from_trace_upper(data.pe1_output, n_values=n_grid))
-
-    gamma_u = envelope_upper(gammas_u)
-    gamma_l = envelope_lower(gammas_l)
-    alpha = alphas[0]
-    for a in alphas[1:]:
-        alpha = alpha.maximum(a)
-    wcet = max(g.per_activation_bound for g in gammas_u)
-    bcet = min(g.per_activation_bound for g in gammas_l)
-    f_gamma = minimum_frequency_curves(alpha, gamma_u, buffer_size)
-    f_wcet = minimum_frequency_wcet(alpha, wcet, buffer_size)
-
-    ctx = CaseStudyContext(
-        frames=frames,
-        buffer_size=buffer_size,
-        clips=clips,
-        gammas_upper=gammas_u,
-        gammas_lower=gammas_l,
-        alphas=alphas,
-        gamma_u=gamma_u,
-        gamma_l=gamma_l,
-        alpha=alpha,
-        wcet=wcet,
-        bcet=bcet,
-        f_gamma=f_gamma,
-        f_wcet=f_wcet,
-    )
     _CONTEXT_CACHE[key] = ctx
+    obs.record_input("case_study_context", ctx.input_digest)
     return ctx

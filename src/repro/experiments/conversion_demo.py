@@ -16,12 +16,13 @@ from repro.analysis.conversion import (
     service_cycles_to_events,
 )
 from repro.curves.service import full_processor
-from repro.experiments.common import ExperimentResult, case_study_context
+from repro.experiments.common import ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(*, frames: int = 72) -> ExperimentResult:
     """Run the Figure 4 conversions on the case-study curves."""
     ctx = case_study_context(frames=frames)

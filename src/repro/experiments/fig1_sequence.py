@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.events import ExecutionProfile
 from repro.core.trace import EventTrace
 from repro.core.workload import WorkloadCurvePair
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, harnessed
 from repro.util.report import TextTable
 
 __all__ = ["FIGURE1_SEQUENCE", "figure1_profile", "figure1_trace", "run"]
@@ -34,6 +34,7 @@ def figure1_trace() -> EventTrace:
     return EventTrace.from_type_names(FIGURE1_SEQUENCE, figure1_profile())
 
 
+@harnessed
 def run() -> ExperimentResult:
     """Regenerate the Figure 1 quantities and the trace's workload curves."""
     trace = figure1_trace()

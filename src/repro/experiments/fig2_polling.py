@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.analytical import PollingTask
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, harnessed
 from repro.util.report import TextTable, ascii_xy_plot
 
 __all__ = ["default_polling_task", "run"]
@@ -21,6 +21,7 @@ def default_polling_task() -> PollingTask:
     return PollingTask(period=1.0, theta_min=3.0, theta_max=5.0, e_p=8.0, e_c=2.0)
 
 
+@harnessed
 def run(*, k_max: int = 20) -> ExperimentResult:
     """Regenerate the Figure 2 curves on ``k = 1..k_max``."""
     task = default_polling_task()

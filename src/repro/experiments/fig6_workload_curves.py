@@ -10,12 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.common import ExperimentResult, case_study_context
+from repro.experiments.common import ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable, ascii_xy_plot
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(*, frames: int = 72) -> ExperimentResult:
     """Regenerate the Figure 6 curves (envelope over the 14 clips)."""
     ctx = case_study_context(frames=frames)

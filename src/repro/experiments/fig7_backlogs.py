@@ -9,13 +9,14 @@ pessimistic.
 
 from __future__ import annotations
 
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.simulation.pipeline import replay_pipeline
 from repro.util.report import ascii_bar_chart, format_quantity
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(*, frames: int = 72, buffer_size: int = BUFFER_ONE_FRAME) -> ExperimentResult:
     """Simulate all 14 clips at ``F^γ_min`` and chart normalized backlogs."""
     ctx = case_study_context(frames=frames, buffer_size=buffer_size)

@@ -8,7 +8,7 @@ with workload curves instead of a single WCET.
 from __future__ import annotations
 
 from repro.analysis.frequency import verify_service_constraint
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable, format_quantity
 
 __all__ = ["run"]
@@ -18,6 +18,7 @@ PAPER_F_GAMMA_HZ = 340e6
 PAPER_F_WCET_HZ = 710e6
 
 
+@harnessed
 def run(*, frames: int = 72, buffer_size: int = BUFFER_ONE_FRAME) -> ExperimentResult:
     """Compute both frequency bounds and compare against the paper."""
     ctx = case_study_context(frames=frames, buffer_size=buffer_size)

@@ -24,7 +24,7 @@ import numpy as np
 from repro.analysis.frequency import minimum_frequency_curves, minimum_frequency_wcet
 from repro.core.operations import envelope_upper
 from repro.core.workload import WorkloadCurve
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.mpeg.macroblock import CodingClass, FrameType
 from repro.util.report import TextTable, format_quantity
 from repro.util.staircase import make_k_grid
@@ -49,6 +49,7 @@ def _interval_demands(clip) -> np.ndarray:
     return wcet_by_pair[data.frame_type_code, data.coding_code]
 
 
+@harnessed
 def run(*, frames: int = 72, buffer_size: int = BUFFER_ONE_FRAME) -> ExperimentResult:
     """Compute the eq. (9) bound under each characterization level."""
     ctx = case_study_context(frames=frames, buffer_size=buffer_size)

@@ -9,12 +9,13 @@ voltage-frequency-scaled energy saving.
 from __future__ import annotations
 
 from repro.analysis.energy import PowerModel, dvs_savings
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable, format_quantity
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(*, frames: int = 72, buffer_size: int = BUFFER_ONE_FRAME) -> ExperimentResult:
     """Power savings of clocking PE2 at ``F^γ_min`` instead of ``F^w_min``."""
     ctx = case_study_context(frames=frames, buffer_size=buffer_size)

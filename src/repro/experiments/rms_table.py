@@ -10,7 +10,7 @@ sets admitted only by the workload-curve test indeed never miss deadlines.
 from __future__ import annotations
 
 from repro.core.analytical import PollingTask
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, harnessed
 from repro.scheduling.rms import rms_test_classic, rms_test_curves
 from repro.scheduling.simulator import simulate
 from repro.scheduling.task import PeriodicTask, TaskSet
@@ -35,6 +35,7 @@ def build_task_set(background_load: float) -> tuple[TaskSet, dict]:
     return tasks, demands
 
 
+@harnessed
 def run(*, loads: tuple[float, ...] = (0.4, 0.6, 0.8, 1.0, 1.2)) -> ExperimentResult:
     """Sweep the background load and compare the two tests."""
     table = TextTable(

@@ -17,12 +17,13 @@ from __future__ import annotations
 from repro.analysis.frequency import minimum_frequency_curves
 from repro.curves.arrival import leaky_bucket
 from repro.curves.bounds import backlog_bound
-from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context
+from repro.experiments.common import BUFFER_ONE_FRAME, ExperimentResult, case_study_context, harnessed
 from repro.util.report import TextTable, format_quantity
 
 __all__ = ["run"]
 
 
+@harnessed
 def run(
     *,
     frames: int = 72,

@@ -1,0 +1,160 @@
+"""Run manifests: what produced this result, verifiable after the fact.
+
+A *manifest* is a JSON document (schema ``repro.run-manifest/1``) stamped
+onto every :class:`~repro.experiments.common.ExperimentResult`, recording
+
+* the experiment identity (id, title, paper reference),
+* the exact parameters the harness ran with (defaults applied),
+* content digests of the inputs that flowed into the run (recorded by the
+  layers that built them, e.g. the case-study context digests its clip
+  demand traces with the same blake2b content hashing the kernel memo
+  cache keys on),
+* the seed (when the experiment is randomized), package version, wall
+  time, and a full metrics snapshot.
+
+Everything except the explicitly-timing fields (:data:`TIMING_FIELDS`) is
+deterministic: two runs of the same experiment with the same parameters
+must produce manifests whose :func:`stable_view` compares equal — the
+golden-manifest test enforces this.
+
+Input collection uses a per-thread stack: a harness opens
+:func:`collecting_inputs`, and any layer underneath calls
+:func:`record_input` — nested collections each see the inputs recorded
+while they were open.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "TIMING_FIELDS",
+    "collecting_inputs",
+    "record_input",
+    "digest_json",
+    "build_manifest",
+    "stable_view",
+    "write_manifest",
+]
+
+#: Version tag written into every manifest.
+MANIFEST_SCHEMA = "repro.run-manifest/1"
+
+#: Manifest fields that legitimately differ between identical runs.
+TIMING_FIELDS = ("wall_time_s", "metrics")
+
+_local = threading.local()
+
+
+def _frames() -> list[dict[str, str]]:
+    frames = getattr(_local, "frames", None)
+    if frames is None:
+        frames = []
+        _local.frames = frames
+    return frames
+
+
+@contextmanager
+def collecting_inputs() -> Iterator[dict[str, str]]:
+    """Collect :func:`record_input` calls made while the block is open.
+
+    Yields the (live) mapping ``{input name: hex digest}``; nested
+    collections stack, and an input recorded under several open
+    collections lands in all of them.
+    """
+    frame: dict[str, str] = {}
+    frames = _frames()
+    frames.append(frame)
+    try:
+        yield frame
+    finally:
+        # remove by identity — equal-by-content frames must not alias
+        for i in range(len(frames) - 1, -1, -1):
+            if frames[i] is frame:
+                del frames[i]
+                break
+
+
+def record_input(name: str, digest: bytes | str) -> None:
+    """Register one input digest with every open collection.
+
+    *digest* is a raw digest (bytes, e.g. from
+    :func:`repro.perf.cache.digest_of`) or an already-hex string.  A no-op
+    when no collection is open, so instrumented layers can record
+    unconditionally.
+    """
+    hexd = digest.hex() if isinstance(digest, bytes) else str(digest)
+    for frame in _frames():
+        frame[name] = hexd
+
+
+def digest_json(obj: Any) -> str:
+    """blake2b content digest of *obj*'s canonical JSON rendering.
+
+    Canonical = sorted keys, no whitespace variance, ``str`` fallback for
+    non-JSON types — deterministic across runs for the plain
+    dict/list/scalar payloads experiment results carry.
+    """
+    payload = json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def build_manifest(
+    *,
+    experiment_id: str,
+    title: str | None = None,
+    paper_reference: str | None = None,
+    parameters: dict[str, Any] | None = None,
+    inputs: dict[str, str] | None = None,
+    seed: Any = None,
+    version: str | None = None,
+    wall_time_s: float | None = None,
+    metrics: dict[str, Any] | None = None,
+    data_digest: str | None = None,
+) -> dict[str, Any]:
+    """Assemble one manifest dict (schema ``repro.run-manifest/1``)."""
+    if version is None:
+        # late import: repro's package init indirectly imports this module
+        import repro
+
+        version = repro.__version__
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "experiment_id": experiment_id,
+        "title": title,
+        "paper_reference": paper_reference,
+        "parameters": _jsonable(parameters or {}),
+        "inputs": dict(sorted((inputs or {}).items())),
+        "seed": _jsonable(seed),
+        "version": version,
+        "wall_time_s": wall_time_s,
+        "metrics": metrics,
+        "data_digest": data_digest,
+    }
+
+
+def stable_view(manifest: dict[str, Any]) -> dict[str, Any]:
+    """The manifest minus its :data:`TIMING_FIELDS` — the part that must be
+    bit-identical across reruns with the same parameters and seed."""
+    return {k: v for k, v in manifest.items() if k not in TIMING_FIELDS}
+
+
+def write_manifest(manifest: dict[str, Any], path: str | os.PathLike) -> None:
+    """Write *manifest* as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def _jsonable(value: Any) -> Any:
+    """Round-trip *value* through canonical JSON so the manifest holds only
+    plain types (tuples become lists, numpy scalars become numbers)."""
+    if value is None:
+        return None
+    return json.loads(json.dumps(value, sort_keys=True, default=str))

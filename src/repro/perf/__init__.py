@@ -7,7 +7,9 @@ The performance layer behind the analysis engine:
   curve combination and inversion, trace envelope extraction), keyed by
   exact content digests, with hit/miss/eviction counters and an opt-out
   switch;
-* :mod:`repro.perf.instrument` — per-kernel call counts and wall time;
+* :mod:`repro.perf.instrument` — per-kernel call counts, wall time, and
+  timing histograms, reported through the :mod:`repro.obs` metrics
+  registry (and, when tracing is enabled, as nested spans);
 * :mod:`repro.perf.batch` — batched kernels (:func:`convolve_many`,
   :func:`evaluate_at_many`, …) for the sweep-style workloads.
 
@@ -56,7 +58,10 @@ def report() -> dict[str, Any]:
 
     Returns ``{"kernels": {name: {calls, seconds}}, "cache": {...}}`` —
     the payload dumped to ``benchmarks/BENCH_kernels.json`` by the kernel
-    benchmark suite.
+    benchmark suite.  Since the observability refactor this is a thin
+    *view* over the :mod:`repro.obs` metrics registry: the same numbers
+    (plus per-kernel timing histograms) appear in
+    ``repro.obs.registry.snapshot()`` and the CLI's ``--metrics-out``.
     """
     return {"kernels": kernel_snapshot(), "cache": cache_stats()}
 

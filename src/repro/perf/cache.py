@@ -153,6 +153,35 @@ class KernelCache:
 kernel_cache = KernelCache()
 
 
+def _publish_cache_metrics(registry) -> None:
+    """Snapshot-time collector: mirror the cache accounting into the
+    metrics registry (``cache.*`` series).
+
+    The cache keeps its own integer counters on the lookup hot path;
+    publishing at snapshot time gives the registry (and every exported
+    ``--metrics-out``/manifest payload) the hit/miss/eviction/bypass
+    totals without adding a second lock to every ``get_or_compute``.
+    """
+    stats_now = kernel_cache.stats()
+    for key in ("hits", "misses", "evictions", "bypasses", "calls"):
+        registry.counter(f"cache.{key}").set_total(stats_now[key])
+    registry.gauge("cache.entries").set(stats_now["entries"])
+    registry.gauge("cache.max_entries").set(stats_now["max_entries"])
+    registry.gauge("cache.enabled").set(int(stats_now["enabled"]))
+    for op, counters in stats_now["per_op"].items():
+        registry.counter("cache.op.hits", op=op).set_total(counters["hits"])
+        registry.counter("cache.op.misses", op=op).set_total(counters["misses"])
+
+
+def _register_collector() -> None:
+    from repro.obs.metrics import registry
+
+    registry.register_collector(_publish_cache_metrics)
+
+
+_register_collector()
+
+
 def configure(*, enabled: bool | None = None, max_entries: int | None = None) -> None:
     """Adjust the global cache: switch it on/off and/or resize it.
 

@@ -1,61 +1,117 @@
-"""Lightweight per-kernel instrumentation (call counts + wall time).
+"""Per-kernel instrumentation, backed by the ``repro.obs`` metrics registry.
 
-Every hot kernel is wrapped with :func:`instrumented`, which accumulates a
-call count and total wall-clock seconds into a process-wide registry.
-:func:`snapshot` returns the registry as plain dicts — the payload behind
-``repro.perf.report()`` and the ``benchmarks/BENCH_kernels.json`` artifact.
+Every hot kernel is wrapped with :func:`instrumented`.  Each call reports
+into three labeled series of the process-wide
+:data:`repro.obs.metrics.registry`:
 
-Overhead is one ``perf_counter`` pair and a dict update per call, which is
-noise next to the numpy work the kernels do.
+* ``kernel.calls{kernel=<name>}`` — counter, integer call count;
+* ``kernel.seconds{kernel=<name>}`` — counter, accumulated wall time;
+* ``kernel.seconds.hist{kernel=<name>}`` — fixed-bucket timing histogram.
+
+and, when the :data:`repro.obs.tracing.tracer` is enabled, opens a nested
+span named after the kernel — so a ``--trace`` run shows every min-plus
+convolution under the experiment that triggered it.  With tracing off the
+extra cost is a single attribute check.
+
+:func:`snapshot` and :func:`reset` are kept as thin compatibility views
+over the registry: ``snapshot()`` returns the familiar
+``{name: {"calls": int, "seconds": float}}`` mapping (the payload behind
+``repro.perf.report()`` and ``benchmarks/BENCH_kernels.json``), and
+``reset()`` zeroes exactly the kernel series.
 """
 
 from __future__ import annotations
 
 import functools
-import threading
 import time
 from typing import Any, Callable, TypeVar
+
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, registry
+from repro.obs.tracing import tracer
 
 __all__ = ["instrumented", "snapshot", "reset", "record"]
 
 F = TypeVar("F", bound=Callable[..., Any])
 
-_registry: dict[str, dict[str, float]] = {}
-_lock = threading.Lock()
+#: Registry series names of the kernel instrumentation.
+CALLS_METRIC = "kernel.calls"
+SECONDS_METRIC = "kernel.seconds"
+HISTOGRAM_METRIC = "kernel.seconds.hist"
+
+#: Prefix shared by all kernel series (used by :func:`reset`).
+_KERNEL_PREFIX = "kernel."
 
 
 def record(name: str, seconds: float) -> None:
     """Account one call of *name* taking *seconds* of wall time."""
-    with _lock:
-        entry = _registry.setdefault(name, {"calls": 0, "seconds": 0.0})
-        entry["calls"] += 1
-        entry["seconds"] += seconds
+    seconds = float(seconds)
+    registry.counter(CALLS_METRIC, kernel=name).inc()
+    registry.counter(SECONDS_METRIC, kernel=name).add(seconds)
+    registry.histogram(
+        HISTOGRAM_METRIC, buckets=DEFAULT_TIME_BUCKETS, kernel=name
+    ).observe(seconds)
 
 
-def instrumented(name: str) -> Callable[[F], F]:
-    """Decorator: count calls to the wrapped kernel and sum their wall time."""
+def instrumented(
+    name: str, *, attrs: Callable[..., dict[str, Any]] | None = None
+) -> Callable[[F], F]:
+    """Decorator: meter calls to the wrapped kernel and, when tracing is
+    enabled, open a span named *name*.
+
+    *attrs* optionally maps the call arguments to span attributes (e.g.
+    operand sizes); it only runs while tracing is enabled, so it may be
+    arbitrarily lazy about cost.
+    """
 
     def decorate(fn: F) -> F:
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            t0 = time.perf_counter()
-            try:
-                return fn(*args, **kwargs)
-            finally:
-                record(name, time.perf_counter() - t0)
+            if tracer.enabled:
+                span_attrs = attrs(*args, **kwargs) if attrs is not None else {}
+                with tracer.span(name, **span_attrs):
+                    t0 = time.perf_counter()
+                    try:
+                        return fn(*args, **kwargs)
+                    finally:
+                        record(name, time.perf_counter() - t0)
+            else:
+                t0 = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    record(name, time.perf_counter() - t0)
 
         return wrapper  # type: ignore[return-value]
 
     return decorate
 
 
-def snapshot() -> dict[str, dict[str, float]]:
-    """Copy of the per-kernel counters: ``{name: {calls, seconds}}``."""
-    with _lock:
-        return {name: dict(entry) for name, entry in _registry.items()}
+def snapshot(*, reset: bool = False) -> dict[str, dict[str, float]]:
+    """The per-kernel counters as ``{name: {calls, seconds}}``.
+
+    ``calls`` is an ``int``, ``seconds`` a ``float``.  Kernels whose call
+    count is zero (e.g. after a :func:`reset`) are omitted, so the mapping
+    is empty exactly when nothing ran.  With ``reset=True`` the kernel
+    series are zeroed after being captured.
+    """
+    out: dict[str, dict[str, float]] = {}
+    for series in registry.series(CALLS_METRIC):
+        calls = series.value
+        if calls:
+            out[series.labels["kernel"]] = {"calls": int(calls)}
+    for series in registry.series(SECONDS_METRIC):
+        entry = out.get(series.labels["kernel"])
+        if entry is not None:
+            entry["seconds"] = float(series.value)
+    if reset:
+        _reset()
+    return out
+
+
+def _reset() -> None:
+    registry.reset(prefix=_KERNEL_PREFIX)
 
 
 def reset() -> None:
-    """Zero all per-kernel counters."""
-    with _lock:
-        _registry.clear()
+    """Zero all per-kernel series (they stay registered)."""
+    _reset()

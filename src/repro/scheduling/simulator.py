@@ -18,6 +18,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Literal, Mapping
 
+from repro.obs.metrics import registry
+from repro.obs.tracing import tracer
 from repro.scheduling.task import TaskSet
 from repro.util.validation import ValidationError, check_positive
 
@@ -137,6 +139,24 @@ def simulate(
     check_positive(horizon, "horizon")
     if policy not in ("fixed", "edf"):
         raise ValidationError(f"unknown policy {policy!r}")
+    with tracer.span(
+        "sched.simulate", policy=policy, horizon=horizon, tasks=len(list(task_set))
+    ):
+        result = _simulate(task_set, horizon, demands=demands, policy=policy)
+    registry.counter("sched.runs", policy=policy).inc()
+    registry.counter("sched.jobs", policy=policy).inc(len(result.jobs))
+    registry.counter("sched.deadline_misses", policy=policy).inc(result.deadline_misses())
+    registry.counter("sched.busy_seconds", policy=policy).add(result.busy_time)
+    return result
+
+
+def _simulate(
+    task_set: TaskSet,
+    horizon: float,
+    *,
+    demands: Mapping[str, DemandGenerator] | None,
+    policy: Literal["fixed", "edf"],
+) -> SimulationResult:
     gens = dict(wcet_demands(task_set))
     if demands is not None:
         unknown = set(demands) - {t.name for t in task_set}

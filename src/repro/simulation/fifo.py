@@ -26,10 +26,11 @@ class Fifo(Generic[T]):
     guarantee held.  Pass ``capacity=None`` for an unbounded buffer.
     """
 
-    def __init__(self, capacity: int | None):
+    def __init__(self, capacity: int | None, *, name: str = "fifo"):
         if capacity is not None:
             capacity = check_integer(capacity, "capacity", minimum=1)
         self.capacity = capacity
+        self.name = name
         self._items: deque[T] = deque()
         self._in_service = 0
         self.max_occupancy = 0
@@ -69,6 +70,19 @@ class Fifo(Generic[T]):
         if self._in_service <= 0:
             raise ValidationError("finish_service without a matching start_service")
         self._in_service -= 1
+
+    def publish_metrics(self) -> None:
+        """Report this buffer's statistics into the metrics registry.
+
+        Called once per simulation run (not per push, which is the hot
+        path): a backlog high-water gauge plus pushed/overflow counters,
+        labeled by the buffer's name.
+        """
+        from repro.obs.metrics import registry
+
+        registry.gauge("sim.fifo.high_water", fifo=self.name).set_max(self.max_occupancy)
+        registry.counter("sim.fifo.pushed", fifo=self.name).inc(self.total_pushed)
+        registry.counter("sim.fifo.overflows", fifo=self.name).inc(self.overflow_count)
 
     def __len__(self) -> int:
         return self.occupancy

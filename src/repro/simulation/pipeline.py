@@ -24,6 +24,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import registry
+from repro.obs.tracing import tracer
 from repro.simulation.fifo import Fifo
 from repro.simulation.kernel import Simulator
 from repro.simulation.pe import ProcessingElement
@@ -101,7 +103,7 @@ def simulate_pipeline(
     arrivals, demands = _validate_inputs(arrivals, demands)
     check_positive(frequency, "frequency")
     sim = Simulator()
-    fifo: Fifo[int] = Fifo(capacity)
+    fifo: Fifo[int] = Fifo(capacity, name="PE2.fifo")
     pe2 = ProcessingElement("PE2", frequency)
     completions = np.zeros(arrivals.size)
 
@@ -126,7 +128,12 @@ def simulate_pipeline(
 
     for i, t in enumerate(arrivals):
         sim.schedule(float(t), lambda i=i: arrive(i))
-    sim.run()
+    with tracer.span(
+        "sim.pipeline", impl="event-driven", items=int(arrivals.size), frequency=frequency
+    ):
+        sim.run()
+    fifo.publish_metrics()
+    pe2.publish_metrics()
     makespan = float(completions[-1]) if completions[-1] > 0 else float(arrivals[-1])
     return PipelineResult(
         max_backlog=fifo.max_occupancy,
@@ -153,24 +160,31 @@ def replay_pipeline(
     """
     arrivals, demands = _validate_inputs(arrivals, demands)
     check_positive(frequency, "frequency")
-    service = demands / frequency
-    done = np.empty(arrivals.size)
-    prev = -np.inf
-    for i in range(arrivals.size):
-        start = arrivals[i] if arrivals[i] > prev else prev
-        prev = start + service[i]
-        done[i] = prev
-    # two-pointer: for each arrival i, advance j past items finished by then
-    max_backlog = 0
-    j = 0
-    for i in range(arrivals.size):
-        while j <= i and done[j] <= arrivals[i] + 1e-15:
-            j += 1
-        backlog = i - j + 1
-        if backlog > max_backlog:
-            max_backlog = backlog
-    makespan = float(done[-1])
-    busy = float(np.sum(service))
+    with tracer.span(
+        "sim.pipeline", impl="replay", items=int(arrivals.size), frequency=frequency
+    ):
+        service = demands / frequency
+        done = np.empty(arrivals.size)
+        prev = -np.inf
+        for i in range(arrivals.size):
+            start = arrivals[i] if arrivals[i] > prev else prev
+            prev = start + service[i]
+            done[i] = prev
+        # two-pointer: for each arrival i, advance j past items finished by then
+        max_backlog = 0
+        j = 0
+        for i in range(arrivals.size):
+            while j <= i and done[j] <= arrivals[i] + 1e-15:
+                j += 1
+            backlog = i - j + 1
+            if backlog > max_backlog:
+                max_backlog = backlog
+        makespan = float(done[-1])
+        busy = float(np.sum(service))
+    registry.gauge("sim.fifo.high_water", fifo="PE2.fifo").set_max(max_backlog)
+    registry.counter("sim.fifo.pushed", fifo="PE2.fifo").inc(int(arrivals.size))
+    registry.counter("sim.pe.busy_seconds", pe="PE2").add(busy)
+    registry.counter("sim.pe.items", pe="PE2").inc(int(arrivals.size))
     return PipelineResult(
         max_backlog=max_backlog,
         overflowed=capacity is not None and max_backlog > capacity,

@@ -1,0 +1,101 @@
+"""Tests for repro.obs.manifest: input collection, digests, stable views."""
+
+import json
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    TIMING_FIELDS,
+    build_manifest,
+    collecting_inputs,
+    digest_json,
+    record_input,
+    stable_view,
+    write_manifest,
+)
+
+
+class TestInputCollection:
+    def test_collects_while_open(self):
+        with collecting_inputs() as inputs:
+            record_input("trace", b"\x01\x02")
+        assert inputs == {"trace": "0102"}
+
+    def test_hex_string_passthrough(self):
+        with collecting_inputs() as inputs:
+            record_input("ctx", "abcdef")
+        assert inputs == {"ctx": "abcdef"}
+
+    def test_noop_when_no_collection_open(self):
+        record_input("ignored", b"\x00")  # must not raise
+
+    def test_nested_collections_both_see_inputs(self):
+        with collecting_inputs() as outer:
+            with collecting_inputs() as inner:
+                record_input("shared", "aa")
+            record_input("outer_only", "bb")
+        assert inner == {"shared": "aa"}
+        assert outer == {"shared": "aa", "outer_only": "bb"}
+
+    def test_collection_closes_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting_inputs():
+                raise RuntimeError("boom")
+        record_input("after", "cc")  # the dead frame must be gone
+
+
+class TestDigestJson:
+    def test_deterministic_and_key_order_independent(self):
+        assert digest_json({"a": 1, "b": [2, 3]}) == digest_json({"b": [2, 3], "a": 1})
+
+    def test_distinguishes_content(self):
+        assert digest_json({"a": 1}) != digest_json({"a": 2})
+
+
+class TestBuildManifest:
+    def manifest(self, **overrides):
+        kwargs = dict(
+            experiment_id="E1",
+            title="demo",
+            paper_reference="Figure 1",
+            parameters={"frames": 72, "grid": (1, 2)},
+            inputs={"ctx": "ff00"},
+            seed=7,
+            wall_time_s=0.5,
+            metrics={"schema": "repro.metrics/1"},
+            data_digest="aa",
+        )
+        kwargs.update(overrides)
+        return build_manifest(**kwargs)
+
+    def test_schema_and_fields(self):
+        manifest = self.manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA
+        assert manifest["experiment_id"] == "E1"
+        assert manifest["seed"] == 7
+        # tuples are canonicalized to lists so the manifest is plain JSON
+        assert manifest["parameters"]["grid"] == [1, 2]
+        json.dumps(manifest)
+
+    def test_version_defaults_to_package_version(self):
+        import repro
+
+        assert self.manifest()["version"] == repro.__version__
+
+    def test_stable_view_drops_exactly_timing_fields(self):
+        manifest = self.manifest()
+        view = stable_view(manifest)
+        assert set(manifest) - set(view) == set(TIMING_FIELDS)
+
+    def test_stable_view_equal_across_reruns(self):
+        a = self.manifest(wall_time_s=0.1, metrics={"x": 1})
+        b = self.manifest(wall_time_s=9.9, metrics={"x": 2})
+        assert a != b
+        assert stable_view(a) == stable_view(b)
+
+    def test_write_manifest_roundtrip(self, tmp_path):
+        manifest = self.manifest()
+        path = tmp_path / "E1.manifest.json"
+        write_manifest(manifest, path)
+        assert json.loads(path.read_text()) == manifest

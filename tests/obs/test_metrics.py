@@ -1,0 +1,144 @@
+"""Tests for repro.obs.metrics: instruments, registry, snapshots."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import METRICS_SCHEMA, MetricsRegistry
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_int_increments_stay_int(self, reg):
+        c = reg.counter("calls")
+        c.inc()
+        c.inc(2)
+        assert c.value == 3
+        assert isinstance(c.value, int)
+
+    def test_float_increment_promotes(self, reg):
+        c = reg.counter("seconds")
+        c.add(0.25)
+        c.add(0.5)
+        assert c.value == pytest.approx(0.75)
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.counter("calls").inc(-1)
+
+    def test_set_total_overwrites(self, reg):
+        c = reg.counter("cache.hits")
+        c.inc(5)
+        c.set_total(17)
+        assert c.value == 17
+
+
+class TestGauge:
+    def test_set_and_set_max(self, reg):
+        g = reg.gauge("backlog")
+        g.set(10)
+        g.set_max(7)  # lower: ignored
+        assert g.value == 10
+        g.set_max(42)
+        assert g.value == 42
+        g.set(3)  # plain set always overwrites
+        assert g.value == 3
+
+
+class TestHistogram:
+    def test_bucketing_and_overflow(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        snap = h._snapshot()
+        # 0.5 and 1.0 land in <=1.0; 5.0 in <=10.0; 100.0 overflows
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["sum"] == pytest.approx(106.5)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 100.0
+
+    def test_empty_histogram_serializes_null_min_max(self, reg):
+        snap = reg.histogram("lat", buckets=(1.0,))._snapshot()
+        assert snap["min"] is None and snap["max"] is None
+        json.dumps(snap)  # must be strictly valid JSON (no Infinity)
+
+    def test_bad_buckets_rejected(self, reg):
+        with pytest.raises(ValueError):
+            reg.histogram("lat", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("lat2", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_series(self, reg):
+        assert reg.counter("n", op="a") is reg.counter("n", op="a")
+
+    def test_labels_distinguish_series(self, reg):
+        a = reg.counter("n", op="a")
+        b = reg.counter("n", op="b")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+        assert len(reg.series("n")) == 2
+
+    def test_label_order_is_irrelevant(self, reg):
+        assert reg.counter("n", x=1, y=2) is reg.counter("n", y=2, x=1)
+
+    def test_kind_conflict_rejected(self, reg):
+        reg.counter("n")
+        with pytest.raises(ValueError):
+            reg.gauge("n")
+        with pytest.raises(ValueError):
+            reg.gauge("n", other="label")
+
+    def test_snapshot_shape_and_sorting(self, reg):
+        reg.counter("b.count").inc()
+        reg.counter("a.count", op="z").inc(2)
+        reg.gauge("depth").set(3)
+        reg.histogram("time", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["schema"] == METRICS_SCHEMA
+        assert [c["name"] for c in snap["counters"]] == ["a.count", "b.count"]
+        assert snap["counters"][0] == {"name": "a.count", "labels": {"op": "z"}, "value": 2}
+        assert [g["name"] for g in snap["gauges"]] == ["depth"]
+        assert [h["name"] for h in snap["histograms"]] == ["time"]
+        json.dumps(snap)
+
+    def test_collectors_run_at_snapshot_time(self, reg):
+        source = {"hits": 0}
+
+        def publish(r):
+            r.counter("src.hits").set_total(source["hits"])
+
+        reg.register_collector(publish)
+        source["hits"] = 9
+        snap = reg.snapshot()
+        assert snap["counters"][0]["value"] == 9
+        # registering the same function twice is idempotent
+        reg.register_collector(publish)
+        assert len(reg.snapshot()["counters"]) == 1
+
+    def test_reset_zeroes_in_place_keeping_handles(self, reg):
+        c = reg.counter("n")
+        c.inc(5)
+        reg.reset()
+        assert c.value == 0
+        c.inc()  # the held handle still feeds the registered series
+        assert reg.counter("n").value == 1
+
+    def test_reset_with_prefix_is_selective(self, reg):
+        reg.counter("kernel.calls").inc(3)
+        reg.counter("cache.hits").inc(4)
+        reg.reset(prefix="kernel.")
+        assert reg.counter("kernel.calls").value == 0
+        assert reg.counter("cache.hits").value == 4
+
+    def test_clear_drops_series(self, reg):
+        reg.counter("n").inc()
+        reg.clear()
+        assert len(reg) == 0

@@ -1,0 +1,139 @@
+"""Tests for repro.obs.tracing: spans, nesting, export formats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.tracing import TRACE_SCHEMA, Tracer, tracer
+
+
+@pytest.fixture
+def t():
+    """A fresh, enabled tracer (not the process-wide one)."""
+    fresh = Tracer()
+    fresh.enable()
+    return fresh
+
+
+class TestSpanCollection:
+    def test_disabled_by_default_records_nothing(self):
+        fresh = Tracer()
+        with fresh.span("work", x=1):
+            pass
+        assert len(fresh) == 0
+
+    def test_global_tracer_starts_disabled(self):
+        assert tracer.enabled is False
+
+    def test_basic_record_fields(self, t):
+        with t.span("work", kind="demo"):
+            pass
+        (record,) = t.records()
+        assert record["name"] == "work"
+        assert record["attrs"] == {"kind": "demo"}
+        assert record["parent"] is None
+        assert record["dur"] >= 0
+        assert record["ts"] >= 0
+        assert record["thread"] == threading.get_ident()
+
+    def test_nesting_links_parent_ids(self, t):
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+            with t.span("inner2"):
+                pass
+        by_name = {r["name"]: r for r in t.records()}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner2"]["parent"] == by_name["outer"]["id"]
+        # children close (and are recorded) before their parent
+        names = [r["name"] for r in t.records()]
+        assert names.index("inner") < names.index("outer")
+
+    def test_set_and_rename_mutate_until_close(self, t):
+        with t.span("provisional") as span:
+            span.set("result", 42)
+            span.rename("final")
+        (record,) = t.records()
+        assert record["name"] == "final"
+        assert record["attrs"]["result"] == 42
+
+    def test_span_records_even_on_exception(self, t):
+        with pytest.raises(RuntimeError):
+            with t.span("failing"):
+                raise RuntimeError("boom")
+        assert [r["name"] for r in t.records()] == ["failing"]
+
+    def test_bounded_buffer_counts_drops(self):
+        fresh = Tracer(max_spans=2)
+        fresh.enable()
+        for i in range(5):
+            with fresh.span(f"s{i}"):
+                pass
+        assert len(fresh) == 2
+        assert fresh.dropped == 3
+
+    def test_reset_clears_records_and_drops(self, t):
+        with t.span("a"):
+            pass
+        t.reset()
+        assert len(t) == 0
+        assert t.dropped == 0
+
+    def test_disable_keeps_existing_records(self, t):
+        with t.span("kept"):
+            pass
+        t.disable()
+        with t.span("ignored"):
+            pass
+        assert [r["name"] for r in t.records()] == ["kept"]
+
+    def test_threads_get_independent_stacks(self, t):
+        def worker():
+            with t.span("child-thread"):
+                pass
+
+        with t.span("main-thread"):
+            th = threading.Thread(target=worker)
+            th.start()
+            th.join()
+        by_name = {r["name"]: r for r in t.records()}
+        # the other thread's span must NOT parent into this thread's stack
+        assert by_name["child-thread"]["parent"] is None
+        assert by_name["child-thread"]["thread"] != by_name["main-thread"]["thread"]
+
+
+class TestExport:
+    def test_jsonl_roundtrip(self, t, tmp_path):
+        with t.span("outer", n=3):
+            with t.span("inner"):
+                pass
+        path = tmp_path / "trace.jsonl"
+        assert t.export_jsonl(path) == 2
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert {r["name"] for r in records} == {"outer", "inner"}
+        for r in records:
+            assert set(r) == {"name", "ts", "dur", "id", "parent", "thread", "attrs"}
+
+    def test_chrome_trace_format(self, t):
+        with t.span("work", items=7):
+            pass
+        trace = t.chrome_trace()
+        assert trace["otherData"]["schema"] == TRACE_SCHEMA
+        (event,) = trace["traceEvents"]
+        assert event["ph"] == "X"
+        assert event["name"] == "work"
+        assert event["args"] == {"items": 7}
+        # microseconds, so duration scales 1e6 relative to the JSONL record
+        (record,) = t.records()
+        assert event["dur"] == pytest.approx(record["dur"] * 1e6)
+
+    def test_export_chrome_writes_valid_json(self, t, tmp_path):
+        with t.span("work"):
+            pass
+        path = tmp_path / "trace.json"
+        assert t.export_chrome(path) == 1
+        loaded = json.loads(path.read_text())
+        assert loaded["displayTimeUnit"] == "ms"
+        assert len(loaded["traceEvents"]) == 1

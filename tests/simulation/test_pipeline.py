@@ -108,3 +108,37 @@ class TestWorkConservation:
         # busy period identity: completion <= arrival of first item of busy
         # period + cumulative service (checked via total)
         assert r.completion_times[-1] >= arrivals[0] + demands.sum() / 1.5 - 1e-9
+
+
+class TestPublishedMetrics:
+    def _series_value(self, name, **labels):
+        from repro.obs.metrics import registry
+
+        for series in registry.series(name):
+            if series.labels == labels:
+                return series.value
+        return None
+
+    def test_event_driven_run_publishes_fifo_and_pe_series(self):
+        from repro.obs.metrics import registry
+
+        arrivals = np.zeros(5)
+        demands = np.ones(5)
+        before = self._series_value("sim.pe.items", pe="PE2") or 0
+        r = simulate_pipeline(arrivals, demands, 1.0, capacity=3)
+        assert self._series_value("sim.fifo.high_water", fifo="PE2.fifo") >= r.max_backlog
+        assert self._series_value("sim.pe.items", pe="PE2") == before + 5
+        assert self._series_value("sim.fifo.overflows", fifo="PE2.fifo") is not None
+        registry.reset(prefix="sim.")
+
+    def test_replay_publishes_equivalent_series(self):
+        from repro.obs.metrics import registry
+
+        registry.reset(prefix="sim.")
+        arrivals = np.arange(4, dtype=float)
+        demands = np.full(4, 2.0)
+        r = replay_pipeline(arrivals, demands, 1.0)
+        assert self._series_value("sim.fifo.high_water", fifo="PE2.fifo") == r.max_backlog
+        assert self._series_value("sim.fifo.pushed", fifo="PE2.fifo") == 4
+        assert self._series_value("sim.pe.busy_seconds", pe="PE2") == pytest.approx(8.0)
+        registry.reset(prefix="sim.")

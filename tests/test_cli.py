@@ -1,8 +1,12 @@
 """Tests for the command-line entry point (python -m repro)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
+from repro.experiments import ALL_EXPERIMENTS
+from repro.obs.tracing import tracer
 
 
 class TestCli:
@@ -15,16 +19,61 @@ class TestCli:
     def test_list(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out.split()
-        assert "E5" in out and "A2" in out
+        assert out == list(ALL_EXPERIMENTS)
+
+    def test_help_mentions_every_experiment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for exp_id in ALL_EXPERIMENTS:
+            assert exp_id in out
 
     def test_specific_experiment(self, capsys):
         assert main(["E2"]) == 0
         out = capsys.readouterr().out
         assert "Figure 2" in out
 
-    def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["E99"])
+        assert excinfo.value.code != 0
+        err = capsys.readouterr().err
+        assert "unknown experiment ids: E99" in err
+
+    def test_trace_writes_wellformed_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        assert main(["E1", "--trace", str(path)]) == 0
+        lines = path.read_text().splitlines()
+        assert lines
+        records = [json.loads(line) for line in lines]
+        for r in records:
+            assert set(r) == {"name", "ts", "dur", "id", "parent", "thread", "attrs"}
+        names = {r["name"] for r in records}
+        assert "cli" in names and "experiment:E1" in names
+        assert tracer.enabled is False  # the CLI restores the disabled state
+
+    def test_trace_chrome_format(self, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(["E1", "--trace", str(path), "--trace-format", "chrome"]) == 0
+        trace = json.loads(path.read_text())
+        assert trace["traceEvents"]
+        assert all(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_metrics_out_writes_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["E1", "--metrics-out", str(path)]) == 0
+        snap = json.loads(path.read_text())
+        assert snap["schema"] == "repro.metrics/1"
+        assert snap["counters"]
+
+    def test_out_dir_writes_report_and_manifest(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["E2", "--out-dir", str(out_dir)]) == 0
+        assert (out_dir / "E2.txt").read_text().startswith("[E2]")
+        manifest = json.loads((out_dir / "E2.manifest.json").read_text())
+        assert manifest["schema"] == "repro.run-manifest/1"
+        assert manifest["experiment_id"] == "E2"
 
     def test_case_study_with_reduced_frames(self, capsys, small_context):
         # small_context pre-warms the 12-frame cache... the CLI uses its own
