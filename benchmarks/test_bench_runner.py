@@ -1,0 +1,99 @@
+"""Benchmark gates for the parallel runner and the persistent kernel cache.
+
+Two acceptance gates, both written to ``BENCH_runner.json``:
+
+* **fan-out speedup** — a 4-worker :func:`repro.runner.run_many` sweep of
+  latency-bound tasks must finish at least 2x faster than the serial run.
+  The tasks block rather than burn CPU, so the gate measures what the
+  pool controls — chunking, dispatch, and result collection overhead —
+  and holds even on a single-core CI machine.
+* **warm cache beats cold** — a convolution sweep against a fresh disk
+  cache (cold: every kernel computes and writes through) must be slower
+  than the rerun after the in-memory cache is dropped (warm: every
+  kernel loads from disk), proving a persisted cache outlives the
+  process-local memo table.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import repro.perf as perf
+from repro.runner import run_many
+from repro.runner.tasks import convolution_workload, sleep_task
+
+#: Fan-out shape of the speedup gate: 8 tasks x 150 ms.
+TASKS = 8
+TASK_SECONDS = 0.15
+WORKERS = 4
+
+
+def test_runner_parallel_speedup_and_warm_cache(tmp_path):
+    """Acceptance gate: >= 2x fan-out speedup and a warm-cache win."""
+    # -- gate 1: 4-worker fan-out vs serial --------------------------------
+    items = [TASK_SECONDS] * TASKS
+
+    t0 = time.perf_counter()
+    serial = run_many(sleep_task, items, max_workers=1)
+    serial_seconds = time.perf_counter() - t0
+    assert all(r.ok for r in serial)
+
+    t0 = time.perf_counter()
+    parallel = run_many(sleep_task, items, max_workers=WORKERS)
+    parallel_seconds = time.perf_counter() - t0
+    assert all(r.ok for r in parallel)
+    assert [r.value for r in parallel] == [r.value for r in serial]
+
+    speedup = serial_seconds / parallel_seconds
+
+    # -- gate 2: cold disk cache vs warm rerun -----------------------------
+    spec = (10, 3)  # 10 distinct convolutions, re-requested 3 times
+    cache_dir = tmp_path / "kernel-cache"
+
+    perf.reset()
+    perf.configure(disk_dir=cache_dir)
+    try:
+        t0 = time.perf_counter()
+        cold_total = convolution_workload(spec)
+        cold_seconds = time.perf_counter() - t0
+        cold_stats = perf.cache_stats()["disk"]
+
+        perf.clear_cache()  # drop the in-memory level, keep the disk level
+        t0 = time.perf_counter()
+        warm_total = convolution_workload(spec)
+        warm_seconds = time.perf_counter() - t0
+        warm_stats = perf.cache_stats()["disk"]
+    finally:
+        perf.configure(disk_dir=False)
+
+    assert warm_total == cold_total  # the disk level must not change results
+    assert cold_stats["writes"] == spec[0]
+    assert warm_stats["hits"] >= cold_stats["hits"] + spec[0]
+
+    warm_speedup = cold_seconds / warm_seconds
+    report = {
+        "fan_out": {
+            "tasks": TASKS,
+            "task_seconds": TASK_SECONDS,
+            "workers": WORKERS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+        },
+        "disk_cache": {
+            "distinct_kernels": spec[0],
+            "repeats": spec[1],
+            "cold_seconds": cold_seconds,
+            "warm_seconds": warm_seconds,
+            "warm_speedup": warm_speedup,
+            "cold": cold_stats,
+            "warm": warm_stats,
+        },
+    }
+    out = Path(__file__).parent / "BENCH_runner.json"
+    out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    assert speedup >= 2.0, f"fan-out speedup {speedup:.1f}x below the 2x gate"
+    assert warm_speedup > 1.0, (
+        f"warm cache ({warm_seconds:.3f}s) did not beat cold ({cold_seconds:.3f}s)"
+    )

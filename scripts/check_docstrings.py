@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate for the public API of ``src/repro``.
+
+Walks the package with :mod:`ast` (no imports, stdlib only — CI can run
+it before the package is installed) and requires a docstring on
+
+* every module,
+* every public function and method (name not starting with ``_``),
+* every public class.
+
+Private helpers (leading underscore), everything inside private classes,
+``__init__`` (the class docstring documents construction — the usual
+D107 convention), and anything nested inside functions are exempt — the
+gate targets the surface a user of the package sees, as documented in
+``docs/api.md``.
+
+Usage::
+
+    python scripts/check_docstrings.py            # whole package
+    python scripts/check_docstrings.py src/repro/runner src/repro/perf
+
+Exits 1 listing every undocumented definition as ``path:line: kind name``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Default scope: the whole package.
+DEFAULT_ROOTS = ("src/repro",)
+
+
+def is_public(name: str) -> bool:
+    """True for names that belong to the public surface."""
+    return not name.startswith("_")
+
+
+def iter_python_files(roots: list[Path]):
+    """Yield every ``.py`` file under *roots* (a file root yields itself)."""
+    for root in roots:
+        if root.is_file():
+            yield root
+        else:
+            yield from sorted(root.rglob("*.py"))
+
+
+def check_file(path: Path) -> list[str]:
+    """All docstring violations in *path* as ``path:line: kind name``."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    violations = []
+    if ast.get_docstring(tree) is None:
+        violations.append(f"{path}:1: module {path.stem}")
+
+    def walk(node: ast.AST, qualname: str, in_class: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                name = f"{qualname}{child.name}"
+                if is_public(child.name) and ast.get_docstring(child) is None:
+                    kind = "method" if in_class else "function"
+                    violations.append(f"{path}:{child.lineno}: {kind} {name}")
+                # don't descend: nested defs are implementation detail
+            elif isinstance(child, ast.ClassDef):
+                name = f"{qualname}{child.name}"
+                if is_public(child.name):
+                    if ast.get_docstring(child) is None:
+                        violations.append(f"{path}:{child.lineno}: class {name}")
+                    walk(child, f"{name}.", in_class=True)
+
+    walk(tree, "", in_class=False)
+    return violations
+
+
+def main(argv: list[str]) -> int:
+    """Check the given roots (or the whole package) and report violations."""
+    roots = [Path(a) for a in argv] or [Path(r) for r in DEFAULT_ROOTS]
+    missing = [r for r in roots if not r.exists()]
+    if missing:
+        print(f"check_docstrings: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    violations = []
+    checked = 0
+    for path in iter_python_files(roots):
+        checked += 1
+        violations.extend(check_file(path))
+    if violations:
+        for violation in violations:
+            print(violation)
+        print(
+            f"check_docstrings: {len(violations)} undocumented definition(s) "
+            f"in {checked} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_docstrings: {checked} file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -8,6 +8,13 @@ Usage::
     python -m repro --list          # show available experiment ids
     python -m repro all --frames 24 # faster, lower-fidelity case study
 
+Parallelism and caching (see ``docs/performance.md``)::
+
+    python -m repro all --parallel 4              # fan out over 4 workers
+    python -m repro all --cache-dir .repro-cache  # persistent kernel cache
+    python -m repro sweep --buffers 810,1620,3240 --parallel 4
+                                                  # frequency/backlog sweep
+
 Observability (see ``docs/observability.md``)::
 
     python -m repro E1 --trace trace.jsonl        # span timeline (JSONL)
@@ -22,7 +29,10 @@ import argparse
 import inspect
 import json
 import sys
+import time
+from pathlib import Path
 
+from repro import obs
 from repro.experiments import ALL_EXPERIMENTS
 from repro.obs.metrics import registry
 from repro.obs.tracing import tracer
@@ -37,26 +47,8 @@ def _accepts_frames(run) -> bool:
     return "frames" in inspect.signature(run).parameters
 
 
-def main(argv: list[str] | None = None) -> int:
-    ids = ", ".join(ALL_EXPERIMENTS)
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate the figures/tables of Maxiaguine et al., DATE 2004.",
-    )
-    parser.add_argument(
-        "experiments",
-        nargs="*",
-        help=f"experiment ids ({ids}), 'all', or empty for the light set "
-        f"({', '.join(LIGHT)})",
-    )
-    parser.add_argument("--list", action="store_true", help="list experiment ids")
-    parser.add_argument(
-        "--frames",
-        type=int,
-        default=None,
-        help="frames per clip for experiments that take a frames parameter "
-        "(default: each experiment's own default, typically 72)",
-    )
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared observability options (trace/metrics/out-dir)."""
     parser.add_argument(
         "--trace",
         metavar="PATH",
@@ -82,6 +74,80 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="write each experiment's text report and run manifest into DIR",
     )
+
+
+def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared parallel-runner options."""
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the work out over N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="attach the persistent kernel cache at PATH (shared by all "
+        "workers and reused by future runs)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="base seed for deterministic per-task reseeding of the global "
+        "RNGs in every worker (default: no reseeding)",
+    )
+
+
+def _export_obs(args: argparse.Namespace) -> None:
+    """Write the trace and metrics files requested on the command line."""
+    if args.trace:
+        if args.trace_format == "chrome":
+            tracer.export_chrome(args.trace)
+        else:
+            tracer.export_jsonl(args.trace)
+        tracer.disable()
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatch: ``sweep`` subcommand or the experiment runner."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+    return _experiments_main(argv)
+
+
+def _experiments_main(argv: list[str]) -> int:
+    """Run the requested experiments, serially or across a worker pool."""
+    ids = ", ".join(ALL_EXPERIMENTS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the figures/tables of Maxiaguine et al., DATE 2004. "
+        "The 'sweep' subcommand (python -m repro sweep --help) fans a "
+        "frequency/backlog grid out across workers.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help=f"experiment ids ({ids}), 'all', or empty for the light set "
+        f"({', '.join(LIGHT)})",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiment ids")
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=None,
+        help="frames per clip for experiments that take a frames parameter "
+        "(default: each experiment's own default, typically 72)",
+    )
+    _add_runner_arguments(parser)
+    _add_obs_arguments(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -95,34 +161,215 @@ def main(argv: list[str] | None = None) -> int:
     unknown = [e for e in requested if e not in ALL_EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment ids: {', '.join(unknown)} (known: {ids})")
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
 
     if args.trace:
         tracer.enable()
         tracer.reset()
 
+    def kwargs_for(exp_id: str) -> dict:
+        run = ALL_EXPERIMENTS[exp_id]
+        if args.frames is not None and _accepts_frames(run):
+            return {"frames": args.frames}
+        return {}
+
+    failures: list[str] = []
+    t0 = time.perf_counter()
     with tracer.span("cli", experiments=",".join(requested)):
-        for exp_id in requested:
-            run = ALL_EXPERIMENTS[exp_id]
-            kwargs = {}
-            if args.frames is not None and _accepts_frames(run):
-                kwargs["frames"] = args.frames
-            result = run(**kwargs)
+        if args.parallel > 1:
+            from repro.runner import run_many
+            from repro.runner.tasks import run_experiment_task
+
+            task_results = run_many(
+                run_experiment_task,
+                [(exp_id, kwargs_for(exp_id)) for exp_id in requested],
+                max_workers=args.parallel,
+                cache_dir=args.cache_dir,
+                seed=args.seed,
+            )
+            results = []
+            for exp_id, task in zip(requested, task_results):
+                if not task.ok:
+                    failures.append(f"{exp_id}: {task.error}")
+                    continue
+                results.append(task.value)
+        else:
+            if args.cache_dir:
+                from repro.perf.cache import attach_disk_cache
+
+                attach_disk_cache(args.cache_dir)
+            results = []
+            for exp_id in requested:
+                results.append(ALL_EXPERIMENTS[exp_id](**kwargs_for(exp_id)))
+
+        for result in results:
             print(result)
             print()
             if args.out_dir:
                 result.write(args.out_dir)
 
+        if args.parallel > 1 and args.out_dir and results:
+            combined = obs.combine_manifests(
+                [r.manifest for r in results if r.manifest is not None],
+                experiment_id="PARALLEL",
+                title="Parallel experiment run",
+                parameters={
+                    "experiments": requested,
+                    "parallel": args.parallel,
+                    "frames": args.frames,
+                    "seed": args.seed,
+                },
+                wall_time_s=time.perf_counter() - t0,
+                metrics=registry.snapshot(),
+            )
+            out_dir = Path(args.out_dir)
+            out_dir.mkdir(parents=True, exist_ok=True)
+            obs.write_manifest(combined, out_dir / "PARALLEL.manifest.json")
+
+    _export_obs(args)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _sweep_main(argv: list[str]) -> int:
+    """The ``sweep`` subcommand: fan a frequency/backlog grid out."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description="Sweep the paper's frequency/backlog design space "
+        "(eqs. (7), (9), (10)) over a FIFO-size grid, fanned out across "
+        "worker processes.",
+    )
+    parser.add_argument(
+        "--buffers",
+        default="810,1620,3240",
+        metavar="B1,B2,...",
+        help="comma-separated FIFO sizes in macroblocks (default: "
+        "810,1620,3240 — half/one/two frames)",
+    )
+    parser.add_argument(
+        "--frames",
+        type=int,
+        default=72,
+        help="frames per clip for the case-study context (default: 72)",
+    )
+    parser.add_argument(
+        "--dense-limit",
+        type=int,
+        default=4096,
+        help="dense k-grid limit of the curve extraction (fidelity knob)",
+    )
+    parser.add_argument(
+        "--growth",
+        type=float,
+        default=1.015,
+        help="k-grid geometric growth factor (fidelity knob)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-point timeout in seconds (enforced inside the worker)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="resubmissions of failed/timed-out points (default: 0)",
+    )
+    _add_runner_arguments(parser)
+    _add_obs_arguments(parser)
+    args = parser.parse_args(argv)
+
+    try:
+        buffers = [int(b) for b in args.buffers.split(",") if b.strip()]
+    except ValueError:
+        parser.error(f"--buffers must be comma-separated integers: {args.buffers!r}")
+    if not buffers:
+        parser.error("--buffers must name at least one FIFO size")
+    if args.parallel < 1:
+        parser.error("--parallel must be >= 1")
+
     if args.trace:
-        if args.trace_format == "chrome":
-            tracer.export_chrome(args.trace)
-        else:
-            tracer.export_jsonl(args.trace)
-        tracer.disable()
-    if args.metrics_out:
-        with open(args.metrics_out, "w", encoding="utf-8") as fh:
-            json.dump(registry.snapshot(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-    return 0
+        tracer.enable()
+        tracer.reset()
+
+    from repro.runner import sweep
+    from repro.runner.tasks import frequency_backlog_point
+    from repro.util.report import TextTable
+
+    t0 = time.perf_counter()
+    with tracer.span("cli", command="sweep", points=len(buffers)):
+        swept = sweep(
+            frequency_backlog_point,
+            {"buffer_size": buffers},
+            fixed={
+                "frames": args.frames,
+                "dense_limit": args.dense_limit,
+                "growth": args.growth,
+            },
+            max_workers=args.parallel,
+            cache_dir=args.cache_dir,
+            seed=args.seed,
+            timeout_s=args.timeout,
+            retries=args.retries,
+        )
+    wall = time.perf_counter() - t0
+
+    failures = []
+    table = TextTable(
+        ["b (MB)", "F_gamma (MHz)", "F_wcet (MHz)", "savings", "backlog (events)"],
+        title=f"Frequency/backlog sweep, frames={args.frames}, "
+        f"workers={args.parallel}",
+    )
+    results = []
+    for point, task in zip(swept.points, swept.results):
+        if not task.ok:
+            failures.append(f"b={point['buffer_size']}: {task.error}")
+            continue
+        result = task.value
+        results.append(result)
+        data = result.data
+        table.add_row(
+            [
+                str(data["buffer_size"]),
+                f"{data['f_gamma_hz'] / 1e6:.1f}",
+                f"{data['f_wcet_hz'] / 1e6:.1f}",
+                f"{data['savings'] * 100:.1f}%",
+                f"{data['backlog_events']:.1f}",
+            ]
+        )
+    print(table.render())
+    print(f"\n{len(results)}/{len(swept.points)} points in {wall:.2f}s")
+
+    if args.out_dir:
+        out_dir = Path(args.out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            result.write(out_dir)
+        combined = obs.combine_manifests(
+            [r.manifest for r in results if r.manifest is not None],
+            experiment_id="SWEEP",
+            title="Frequency/backlog sweep",
+            parameters={
+                "buffers": buffers,
+                "frames": args.frames,
+                "dense_limit": args.dense_limit,
+                "growth": args.growth,
+                "parallel": args.parallel,
+                "seed": args.seed,
+            },
+            wall_time_s=wall,
+            metrics=registry.snapshot(),
+        )
+        obs.write_manifest(combined, out_dir / "SWEEP.manifest.json")
+
+    _export_obs(args)
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

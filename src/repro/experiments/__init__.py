@@ -27,6 +27,7 @@ from repro.experiments.common import (
     ExperimentResult,
     case_study_context,
     harnessed,
+    run_experiment,
 )
 from repro.experiments import (
     fig1_sequence,
@@ -68,5 +69,6 @@ __all__ = [
     "ExperimentResult",
     "case_study_context",
     "harnessed",
+    "run_experiment",
     "ALL_EXPERIMENTS",
 ]

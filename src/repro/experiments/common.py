@@ -46,6 +46,7 @@ __all__ = [
     "CaseStudyContext",
     "case_study_context",
     "harnessed",
+    "run_experiment",
     "BUFFER_ONE_FRAME",
 ]
 
@@ -146,6 +147,22 @@ def harnessed(run: Callable[..., ExperimentResult]) -> Callable[..., ExperimentR
         return result
 
     return wrapper
+
+
+def run_experiment(exp_id: str, **params: Any) -> ExperimentResult:
+    """Run one registered experiment by id with the given parameters.
+
+    The canonical by-id entry point used by the CLI and the parallel
+    runner's worker processes (``repro.runner.tasks.run_experiment_task``).
+    Raises :class:`KeyError` for an unknown id.  The registry import is
+    deferred because :mod:`repro.experiments` imports this module first.
+    """
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if exp_id not in ALL_EXPERIMENTS:
+        known = ", ".join(ALL_EXPERIMENTS)
+        raise KeyError(f"unknown experiment id {exp_id!r} (known: {known})")
+    return ALL_EXPERIMENTS[exp_id](**params)
 
 
 @dataclass

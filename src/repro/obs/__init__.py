@@ -35,6 +35,7 @@ from repro.obs.manifest import (
     TIMING_FIELDS,
     build_manifest,
     collecting_inputs,
+    combine_manifests,
     digest_json,
     record_input,
     stable_view,
@@ -76,6 +77,7 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "TIMING_FIELDS",
     "build_manifest",
+    "combine_manifests",
     "collecting_inputs",
     "digest_json",
     "record_input",

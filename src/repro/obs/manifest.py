@@ -39,6 +39,7 @@ __all__ = [
     "record_input",
     "digest_json",
     "build_manifest",
+    "combine_manifests",
     "stable_view",
     "write_manifest",
 ]
@@ -137,6 +138,54 @@ def build_manifest(
         "metrics": metrics,
         "data_digest": data_digest,
     }
+
+
+def combine_manifests(
+    children: list[dict[str, Any]],
+    *,
+    experiment_id: str,
+    title: str | None = None,
+    parameters: dict[str, Any] | None = None,
+    wall_time_s: float | None = None,
+    metrics: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold several child run manifests into one combined manifest.
+
+    Used by the parallel runner: each worker-produced experiment carries
+    its own manifest, and the parent attaches one combined
+    ``repro.run-manifest/1`` covering the whole fan-out.  Inputs are the
+    union of the children's inputs (a name recorded with conflicting
+    digests is qualified with the child's experiment id); ``data_digest``
+    is the digest of the sorted child ``(experiment_id, data_digest)``
+    pairs, so the combined manifest is stable exactly when every child is.
+    The child manifests are summarized under a ``children`` key.
+    """
+    inputs: dict[str, str] = {}
+    summaries = []
+    for child in children:
+        for name, digest in (child.get("inputs") or {}).items():
+            if inputs.get(name, digest) != digest:
+                name = f"{name}[{child.get('experiment_id')}]"
+            inputs[name] = digest
+        summaries.append(
+            {
+                "experiment_id": child.get("experiment_id"),
+                "data_digest": child.get("data_digest"),
+                "seed": child.get("seed"),
+            }
+        )
+    summaries.sort(key=lambda s: str(s["experiment_id"]))
+    combined = build_manifest(
+        experiment_id=experiment_id,
+        title=title,
+        parameters=parameters,
+        inputs=inputs,
+        wall_time_s=wall_time_s,
+        metrics=metrics,
+        data_digest=digest_json(summaries),
+    )
+    combined["children"] = summaries
+    return combined
 
 
 def stable_view(manifest: dict[str, Any]) -> dict[str, Any]:

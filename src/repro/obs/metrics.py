@@ -182,6 +182,22 @@ class Histogram(_Metric):
             if value > self._max:
                 self._max = value
 
+    def merge(self, entry: dict[str, Any]) -> None:
+        """Fold a snapshot *entry* of an identically-bucketed histogram
+        (typically from a worker process) into this one."""
+        if tuple(entry["buckets"]) != self.buckets:
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge mismatched buckets"
+            )
+        with self._lock:
+            for i, c in enumerate(entry["counts"]):
+                self._counts[i] += c
+            self._sum += entry["sum"]
+            self._count += entry["count"]
+            if entry["count"]:
+                self._min = min(self._min, entry["min"])
+                self._max = max(self._max, entry["max"])
+
     @property
     def count(self) -> int:
         """Number of observations."""
@@ -278,6 +294,34 @@ class MetricsRegistry:
         with self._lock:
             found = [m for (n, _), m in self._series.items() if n == name]
         return sorted(found, key=lambda m: _label_key(m.labels))
+
+    # -- merging -----------------------------------------------------------------
+    def merge_snapshot(self, snapshot: dict[str, Any], **extra_labels: Any) -> None:
+        """Fold a ``repro.metrics/1`` *snapshot* (typically from a worker
+        process) into this registry.
+
+        Counters accumulate (``inc`` by the snapshot value), gauges take
+        the high-water mark, and histograms merge bucket-wise.  Pass
+        *extra_labels* (e.g. ``origin="worker"``) to keep merged series
+        distinct from this process's own — essential for counters that a
+        snapshot-time collector would otherwise overwrite, such as the
+        kernel-cache series.
+        """
+        if snapshot.get("schema") != METRICS_SCHEMA:
+            raise ValueError(f"cannot merge snapshot schema {snapshot.get('schema')!r}")
+        for entry in snapshot.get("counters", ()):
+            labels = {**entry["labels"], **extra_labels}
+            value = entry["value"]
+            if value:
+                self.counter(entry["name"], **labels).inc(value)
+        for entry in snapshot.get("gauges", ()):
+            labels = {**entry["labels"], **extra_labels}
+            self.gauge(entry["name"], **labels).set_max(entry["value"])
+        for entry in snapshot.get("histograms", ()):
+            labels = {**entry["labels"], **extra_labels}
+            self.histogram(
+                entry["name"], buckets=tuple(entry["buckets"]), **labels
+            ).merge(entry)
 
     # -- collectors --------------------------------------------------------------
     def register_collector(self, fn: Callable[["MetricsRegistry"], None]) -> None:

@@ -177,6 +177,68 @@ class Tracer:
                 else:
                     self.dropped += 1
 
+    def now(self) -> float:
+        """Current time on the trace clock (seconds since the epoch that
+        all recorded ``ts`` values are relative to)."""
+        return time.perf_counter() - self._epoch
+
+    def current_span_id(self) -> int | None:
+        """Id of the innermost open span on this thread (None outside any
+        span or while tracing is disabled)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def forget_thread(self) -> None:
+        """Drop the calling thread's open-span stack.
+
+        Needed in forked worker processes: the fork child inherits the
+        parent thread's stack, but the spans on it belong to ``with``
+        blocks that will never exit in the child, so keeping them would
+        silently mis-parent every span the worker opens."""
+        self._stack().clear()
+
+    # -- merging -----------------------------------------------------------------
+    def ingest(
+        self,
+        records: list[dict[str, Any]],
+        *,
+        ts_offset: float = 0.0,
+        parent_id: int | None = None,
+        extra_attrs: dict[str, Any] | None = None,
+    ) -> int:
+        """Merge span *records* from another tracer (typically a worker
+        process) into this one; returns the number of spans ingested.
+
+        Ids are remapped into a fresh block of this tracer's id space, so
+        ingested spans can never collide with local ones; root spans of
+        the foreign trace (``parent is None``) are re-parented onto
+        *parent_id* (e.g. :meth:`current_span_id` of the enclosing local
+        span).  ``ts_offset`` shifts the foreign timestamps — pass the
+        local epoch-relative time at which the foreign trace started so
+        both timelines align.  A no-op while tracing is disabled.
+        """
+        if not self.enabled or not records:
+            return 0
+        max_id = max(r["id"] for r in records)
+        with self._lock:
+            base = self._next_id
+            self._next_id += max_id + 1
+        ingested = 0
+        for r in records:
+            record = dict(r)
+            record["id"] = r["id"] + base
+            record["parent"] = r["parent"] + base if r["parent"] is not None else parent_id
+            record["ts"] = max(0.0, r["ts"] + ts_offset)
+            if extra_attrs:
+                record["attrs"] = {**r["attrs"], **extra_attrs}
+            with self._lock:
+                if len(self._records) < self.max_spans:
+                    self._records.append(record)
+                    ingested += 1
+                else:
+                    self.dropped += 1
+        return ingested
+
     # -- export ------------------------------------------------------------------
     def records(self) -> list[dict[str, Any]]:
         """Copy of the collected span records (close order)."""

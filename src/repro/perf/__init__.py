@@ -7,6 +7,10 @@ The performance layer behind the analysis engine:
   curve combination and inversion, trace envelope extraction), keyed by
   exact content digests, with hit/miss/eviction counters and an opt-out
   switch;
+* :mod:`repro.perf.diskcache` — an optional persistent second level under
+  the in-memory LRU: a size-capped, corruption-tolerant directory of
+  pickled results shared across processes and runs (attach with
+  ``perf.attach_disk_cache(path)`` or the CLI's ``--cache-dir``);
 * :mod:`repro.perf.instrument` — per-kernel call counts, wall time, and
   timing histograms, reported through the :mod:`repro.obs` metrics
   registry (and, when tracing is enabled, as nested spans);
@@ -29,7 +33,9 @@ from typing import Any
 
 from repro.perf.cache import (
     KernelCache,
+    attach_disk_cache,
     configure,
+    detach_disk_cache,
     digest_of,
     kernel_cache,
 )
@@ -37,17 +43,25 @@ from repro.perf.cache import clear as clear_cache
 from repro.perf.cache import stats as cache_stats
 from repro.perf.instrument import instrumented, snapshot as kernel_snapshot
 
+#: Compatibility alias: the per-kernel ``{name: {calls, seconds}}`` view.
+snapshot = kernel_snapshot
+
 __all__ = [
     "KernelCache",
     "kernel_cache",
     "configure",
+    "attach_disk_cache",
+    "detach_disk_cache",
     "clear_cache",
     "cache_stats",
     "digest_of",
     "instrumented",
     "report",
     "reset",
+    "snapshot",
+    "kernel_snapshot",
     "convolve_many",
+    "convolve_reduce",
     "deconvolve_many",
     "evaluate_at_many",
 ]
@@ -67,18 +81,23 @@ def report() -> dict[str, Any]:
 
 
 def reset() -> None:
-    """Clear the cache and zero every counter (cache + instrumentation)."""
+    """Clear the in-memory cache and zero every counter (cache, disk-cache
+    accounting, and instrumentation).  On-disk entries are left in place —
+    persistence across runs is the point; use
+    ``kernel_cache.disk.clear()`` to wipe them too."""
     from repro.perf import instrument
 
     kernel_cache.clear()
     kernel_cache.reset_counters()
+    if kernel_cache.disk is not None:
+        kernel_cache.disk.reset_counters()
     instrument.reset()
 
 
 def __getattr__(name: str):
     # batch imports the curve kernels, which import this package for the
     # cache — resolve lazily to keep the import graph acyclic.
-    if name in ("convolve_many", "deconvolve_many", "evaluate_at_many"):
+    if name in ("convolve_many", "convolve_reduce", "deconvolve_many", "evaluate_at_many"):
         from repro.perf import batch
 
         return getattr(batch, name)

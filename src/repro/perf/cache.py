@@ -20,6 +20,17 @@ on the way out (see :func:`KernelCache.get_or_compute`'s ``copy`` flag).
 The cache can be disabled (``configure(enabled=False)``) — every kernel
 then recomputes from scratch and, by purity, must return identical values;
 the differential-oracle suite asserts exactly that.
+
+Persistence
+-----------
+An optional second level — :class:`repro.perf.diskcache.DiskCache` — can
+be attached with :func:`attach_disk_cache` (or ``configure(disk_dir=...)``,
+or the CLI's ``--cache-dir``).  On an in-memory miss the disk store is
+consulted before computing; disk hits are promoted into memory, and fresh
+computations are written through.  Because disk keys are content digests
+of the same cache keys, a warm cache directory lets a brand-new process
+(or every worker of a parallel sweep) skip the min-plus convolutions of
+any earlier run.
 """
 
 from __future__ import annotations
@@ -31,7 +42,16 @@ from typing import Any, Callable, Hashable
 
 import numpy as np
 
-__all__ = ["KernelCache", "kernel_cache", "configure", "clear", "stats", "digest_of"]
+__all__ = [
+    "KernelCache",
+    "kernel_cache",
+    "configure",
+    "clear",
+    "stats",
+    "digest_of",
+    "attach_disk_cache",
+    "detach_disk_cache",
+]
 
 _SENTINEL = object()
 
@@ -75,6 +95,8 @@ class KernelCache:
         self.misses = 0
         self.evictions = 0
         self.bypasses = 0
+        #: Optional persistent second level (see :mod:`repro.perf.diskcache`).
+        self.disk = None
         self._store: OrderedDict[Hashable, Any] = OrderedDict()
         self._per_op: dict[str, dict[str, int]] = {}
         self._lock = threading.Lock()
@@ -106,7 +128,16 @@ class KernelCache:
                 return value.copy() if copy else value
             self.misses += 1
             counters["misses"] += 1
-        value = compute()
+            disk = self.disk
+        value = _SENTINEL
+        if disk is not None:
+            found, stored = disk.get(key)
+            if found:
+                value = stored
+        if value is _SENTINEL:
+            value = compute()
+            if disk is not None:
+                disk.put(key, value)
         with self._lock:
             self._store[key] = value
             while len(self._store) > self.max_entries:
@@ -133,7 +164,7 @@ class KernelCache:
         enabled, so ``hits + misses == calls`` always holds.
         """
         with self._lock:
-            return {
+            out = {
                 "enabled": self.enabled,
                 "entries": len(self._store),
                 "max_entries": self.max_entries,
@@ -144,6 +175,10 @@ class KernelCache:
                 "bypasses": self.bypasses,
                 "per_op": {op: dict(c) for op, c in self._per_op.items()},
             }
+            disk = self.disk
+        if disk is not None:
+            out["disk"] = disk.stats()
+        return out
 
     def __len__(self) -> int:
         return len(self._store)
@@ -171,6 +206,13 @@ def _publish_cache_metrics(registry) -> None:
     for op, counters in stats_now["per_op"].items():
         registry.counter("cache.op.hits", op=op).set_total(counters["hits"])
         registry.counter("cache.op.misses", op=op).set_total(counters["misses"])
+    disk_stats = stats_now.get("disk")
+    if disk_stats is not None:
+        for key in ("hits", "misses", "writes", "evictions", "errors"):
+            registry.counter(f"diskcache.{key}").set_total(disk_stats[key])
+        registry.gauge("diskcache.bytes").set(disk_stats["bytes"])
+        registry.gauge("diskcache.entries").set(disk_stats["entries"])
+        registry.gauge("diskcache.max_bytes").set(disk_stats["max_bytes"])
 
 
 def _register_collector() -> None:
@@ -182,12 +224,20 @@ def _register_collector() -> None:
 _register_collector()
 
 
-def configure(*, enabled: bool | None = None, max_entries: int | None = None) -> None:
+def configure(
+    *,
+    enabled: bool | None = None,
+    max_entries: int | None = None,
+    disk_dir: Any = None,
+    disk_max_bytes: int | None = None,
+) -> None:
     """Adjust the global cache: switch it on/off and/or resize it.
 
     Disabling does not drop existing entries — re-enabling resumes serving
     them.  Shrinking evicts LRU entries down to the new bound on the next
-    insert.
+    insert.  ``disk_dir`` attaches a persistent second level at that
+    directory (see :func:`attach_disk_cache`); pass ``disk_dir=False`` to
+    detach it.
     """
     if enabled is not None:
         kernel_cache.enabled = bool(enabled)
@@ -195,6 +245,29 @@ def configure(*, enabled: bool | None = None, max_entries: int | None = None) ->
         if max_entries < 1:
             raise ValueError("max_entries must be >= 1")
         kernel_cache.max_entries = int(max_entries)
+    if disk_dir is False:
+        detach_disk_cache()
+    elif disk_dir is not None:
+        attach_disk_cache(disk_dir, max_bytes=disk_max_bytes)
+
+
+def attach_disk_cache(directory, *, max_bytes: int | None = None):
+    """Attach (or replace) the persistent second level of the global cache.
+
+    Creates *directory* if needed and returns the attached
+    :class:`~repro.perf.diskcache.DiskCache`.  Safe to call in every
+    process of a worker pool — the store is shared through the filesystem.
+    """
+    from repro.perf.diskcache import DEFAULT_MAX_BYTES, DiskCache
+
+    disk = DiskCache(directory, max_bytes=max_bytes or DEFAULT_MAX_BYTES)
+    kernel_cache.disk = disk
+    return disk
+
+
+def detach_disk_cache() -> None:
+    """Detach the persistent level (on-disk entries are left in place)."""
+    kernel_cache.disk = None
 
 
 def clear() -> None:

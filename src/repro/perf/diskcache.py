@@ -1,0 +1,239 @@
+"""Persistent, content-addressed on-disk kernel cache.
+
+The in-memory :class:`~repro.perf.cache.KernelCache` dies with the process,
+so every new run — and every worker of a parallel sweep — pays the min-plus
+convolutions again.  This module adds a second cache level that survives:
+a directory of pickled kernel results addressed by the blake2b content
+digest of the operation key, layered *under* the in-memory LRU (memory is
+consulted first; a disk hit is promoted into memory).
+
+Design
+------
+* **Keys** — :func:`repro.perf.cache.digest_of` over the in-memory cache
+  key (operation name, operand digests, scalar parameters), salted with a
+  format tag so an on-disk layout change can never alias old entries.
+  Hits require bit-identical inputs, exactly like the memory level.
+* **Atomic writes** — values are pickled to a private temporary file in the
+  cache directory and published with :func:`os.replace`, so readers never
+  observe a half-written entry, even with many concurrent writer
+  processes.  Leftover temporaries from crashed writers are swept on
+  construction.
+* **LRU eviction** — the store is size-capped (``max_bytes``); access
+  bumps the file mtime, and when an insert pushes the store over the cap
+  the oldest-mtime entries are deleted first.  Eviction races between
+  processes are tolerated (a concurrently-deleted file is simply skipped).
+* **Corruption tolerance** — a read that fails for any reason (truncated
+  file, bad pickle, wrong format tag) counts as a miss, removes the bad
+  entry, and increments the ``errors`` counter; it never propagates.
+
+Counters (hits/misses/writes/evictions/errors and resident bytes) are
+published to the :mod:`repro.obs` metrics registry as ``diskcache.*``
+series by the collector in :mod:`repro.perf.cache`.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.perf import cache as _memcache
+
+__all__ = ["DiskCache", "DEFAULT_MAX_BYTES", "FORMAT_TAG"]
+
+#: Default size cap of the on-disk store (bytes).
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Salt mixed into every key digest; bump when the on-disk format changes.
+FORMAT_TAG = f"repro.diskcache/1:pickle{pickle.HIGHEST_PROTOCOL}"
+
+#: Temporary files older than this (seconds) are swept at construction.
+_STALE_TMP_S = 300.0
+
+
+class DiskCache:
+    """A size-capped, content-addressed store of pickled kernel results.
+
+    Thread-safe within a process and safe to share between processes
+    through the filesystem: writes are atomic renames and eviction
+    tolerates concurrent deletion.  Size accounting is per-process and
+    therefore approximate under concurrent writers — the cap is a target,
+    not an invariant, and each writer enforces it against its own view.
+    """
+
+    def __init__(self, directory: str | os.PathLike, max_bytes: int = DEFAULT_MAX_BYTES):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.directory = Path(directory)
+        self.max_bytes = int(max_bytes)
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self.evictions = 0
+        self.errors = 0
+        self._lock = threading.Lock()
+        self._tmp_counter = 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+        self._bytes = self._scan_bytes()
+
+    # -- keys -------------------------------------------------------------------
+    @staticmethod
+    def key_hex(key: tuple) -> str:
+        """Hex digest addressing *key* on disk (format-tag salted)."""
+        return _memcache.digest_of(FORMAT_TAG, *key).hex()
+
+    def _path_for(self, hexkey: str) -> Path:
+        return self.directory / hexkey[:2] / f"{hexkey}.pkl"
+
+    # -- read -------------------------------------------------------------------
+    def get(self, key: tuple) -> tuple[bool, Any]:
+        """Look *key* up; returns ``(hit, value)``.
+
+        A hit refreshes the entry's mtime (the LRU clock).  Any read
+        failure — missing, truncated, or unpicklable file — is a miss.
+        """
+        path = self._path_for(self.key_hex(key))
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return False, None
+        except Exception:
+            # corrupt entry: drop it so the slot heals on the next write
+            with self._lock:
+                self.misses += 1
+                self.errors += 1
+            self._remove(path)
+            return False, None
+        with self._lock:
+            self.hits += 1
+        try:
+            now = time.time()
+            os.utime(path, (now, now))
+        except OSError:
+            pass
+        return True, value
+
+    # -- write ------------------------------------------------------------------
+    def put(self, key: tuple, value: Any) -> bool:
+        """Persist *value* under *key*; returns True if the entry landed.
+
+        Failures (unpicklable value, full disk) are counted and swallowed —
+        the cache is an accelerator, never a correctness dependency.
+        """
+        hexkey = self.key_hex(key)
+        path = self._path_for(hexkey)
+        with self._lock:
+            self._tmp_counter += 1
+            tmp = self.directory / f"tmp.{os.getpid()}.{self._tmp_counter}"
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except Exception:
+            with self._lock:
+                self.errors += 1
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return False
+        with self._lock:
+            self.writes += 1
+            self._bytes += len(payload)
+            over = self._bytes > self.max_bytes
+        if over:
+            self._evict()
+        return True
+
+    # -- eviction ---------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """All resident entries as ``(mtime, size, path)``."""
+        found = []
+        for sub in self.directory.iterdir():
+            if not sub.is_dir():
+                continue
+            for path in sub.glob("*.pkl"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                found.append((stat.st_mtime, stat.st_size, path))
+        return found
+
+    def _evict(self) -> None:
+        """Delete oldest-mtime entries until the store fits ``max_bytes``."""
+        entries = sorted(self._entries(), key=lambda e: (e[0], e[2].name))
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            if self._remove(path):
+                total -= size
+                evicted += 1
+        with self._lock:
+            self._bytes = total
+            self.evictions += evicted
+
+    def _remove(self, path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    # -- management -------------------------------------------------------------
+    def clear(self) -> None:
+        """Delete every entry (counters are kept)."""
+        for _, _, path in self._entries():
+            self._remove(path)
+        with self._lock:
+            self._bytes = 0
+
+    def reset_counters(self) -> None:
+        """Zero the hit/miss/write/eviction/error counters."""
+        with self._lock:
+            self.hits = self.misses = self.writes = 0
+            self.evictions = self.errors = 0
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the accounting state (bytes is the per-process
+        running estimate; ``entries`` re-scans the directory)."""
+        with self._lock:
+            out = {
+                "directory": str(self.directory),
+                "max_bytes": self.max_bytes,
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "writes": self.writes,
+                "evictions": self.evictions,
+                "errors": self.errors,
+            }
+        out["entries"] = len(self._entries())
+        return out
+
+    # -- internals --------------------------------------------------------------
+    def _scan_bytes(self) -> int:
+        return sum(size for _, size, _ in self._entries())
+
+    def _sweep_stale_tmp(self) -> None:
+        cutoff = time.time() - _STALE_TMP_S
+        for tmp in self.directory.glob("tmp.*"):
+            try:
+                if tmp.stat().st_mtime < cutoff:
+                    tmp.unlink()
+            except OSError:
+                continue
+
+    def __len__(self) -> int:
+        return len(self._entries())

@@ -1,0 +1,554 @@
+"""Process-pool fan-out for experiments and parameter sweeps.
+
+:func:`run_many` executes one function over many items on a
+``concurrent.futures.ProcessPoolExecutor`` with
+
+* **chunked distribution** — items are batched so each worker amortizes
+  its per-chunk observability bookkeeping and any worker-local state
+  (e.g. a case-study context) across several tasks;
+* **per-task timeouts** — enforced *inside* the worker with a SIGALRM
+  interval timer (the worker survives and moves on), with a generous
+  parent-side deadline as a backstop against workers stuck in
+  uninterruptible code;
+* **bounded retry with backoff** — failed or timed-out items are
+  resubmitted up to ``retries`` times, with exponentially growing sleeps
+  between waves;
+* **graceful degradation** — ``max_workers=1``, a missing ``fork``/spawn
+  capability, or a pool that fails to start all fall back to an in-process
+  serial loop with identical semantics and result shape;
+* **observability merging** — each worker collects spans and metrics into
+  its own process-local collectors; the parent ingests child trace records
+  (id-remapped, re-parented, timeline-aligned) and folds child metrics
+  into the local registry under an ``origin="worker"`` label, so
+  ``--trace``/``--metrics-out`` keep working under parallelism;
+* **deterministic seeding** — every task runs after a reseed of the
+  ``random`` and ``numpy`` global generators with a seed derived from
+  ``(base seed, task index)``, identically in the serial and parallel
+  paths, so a 4-worker run is bit-identical to a serial one.
+
+The function and items must be picklable (define task functions at module
+level — see :mod:`repro.runner.tasks` for the stock ones).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import random
+import signal
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+import multiprocessing
+
+from repro.obs.metrics import registry
+from repro.obs.tracing import tracer
+
+__all__ = [
+    "TaskResult",
+    "SweepResult",
+    "RunnerError",
+    "TaskTimeout",
+    "run_many",
+    "sweep",
+    "derive_seed",
+]
+
+#: Parent-side backstop slack added on top of ``timeout_s`` per chunk item.
+_BACKSTOP_SLACK_S = 30.0
+
+#: Cap on a single retry-wave backoff sleep.
+_MAX_BACKOFF_S = 30.0
+
+
+class RunnerError(RuntimeError):
+    """Raised by :func:`unwrap`-style accessors when a task failed."""
+
+
+class TaskTimeout(Exception):
+    """Raised inside a worker when a task exceeds its time budget."""
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one item of a :func:`run_many` call.
+
+    ``value`` is the function's return value on success; on failure it is
+    ``None`` and ``error``/``error_type`` describe the last attempt.
+    """
+
+    index: int
+    value: Any = None
+    error: str | None = None
+    error_type: str | None = None
+    attempts: int = 0
+    duration_s: float = 0.0
+    worker: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the task finally succeeded."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, or :class:`RunnerError` if the task failed."""
+        if not self.ok:
+            raise RunnerError(
+                f"task {self.index} failed after {self.attempts} attempt(s): "
+                f"{self.error}"
+            )
+        return self.value
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a :func:`sweep` call: the grid, the expanded parameter
+    points (cartesian order), and one :class:`TaskResult` per point."""
+
+    grid: dict[str, list[Any]]
+    points: list[dict[str, Any]] = field(default_factory=list)
+    results: list[TaskResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every point succeeded."""
+        return all(r.ok for r in self.results)
+
+    def values(self) -> list[Any]:
+        """All point values, raising :class:`RunnerError` on any failure."""
+        return [r.unwrap() for r in self.results]
+
+
+# ---------------------------------------------------------------------------
+# seeding
+# ---------------------------------------------------------------------------
+
+def derive_seed(base: int | None, index: int) -> int | None:
+    """Per-task seed: a blake2b fold of ``(base, index)``, independent of
+    chunking and worker assignment (None stays None — no reseeding)."""
+    if base is None:
+        return None
+    digest = hashlib.blake2b(f"{base}:{index}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _reseed(seed: int | None) -> None:
+    """Reseed the global RNGs (``random`` + numpy legacy) for one task."""
+    if seed is None:
+        return
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % 2**32)
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+
+
+# ---------------------------------------------------------------------------
+# worker side
+# ---------------------------------------------------------------------------
+
+def _worker_init(cache_dir: str | None, disk_max_bytes: int | None) -> None:
+    """Process-pool initializer: attach the persistent kernel cache so
+    every worker shares warm results through the filesystem."""
+    if cache_dir:
+        from repro.perf.cache import attach_disk_cache
+
+        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes)
+
+
+def _alarm_guard(seconds: float | None):
+    """Context manager arming a SIGALRM interval timer that raises
+    :class:`TaskTimeout`; degrades to no enforcement off the main thread
+    or on platforms without SIGALRM."""
+    from contextlib import contextmanager
+
+    @contextmanager
+    def guard():
+        usable = (
+            seconds is not None
+            and seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and threading.current_thread() is threading.main_thread()
+        )
+        if not usable:
+            yield
+            return
+
+        def _on_alarm(signum, frame):
+            raise TaskTimeout(f"task exceeded {seconds:g}s")
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+
+    return guard()
+
+
+def _reset_child_collectors() -> None:
+    """Zero the worker's metric state so each chunk snapshot is a delta."""
+    from repro.perf.cache import kernel_cache
+
+    registry.reset()
+    kernel_cache.reset_counters()
+    if kernel_cache.disk is not None:
+        kernel_cache.disk.reset_counters()
+
+
+def _run_chunk(
+    fn: Callable[[Any], Any],
+    tasks: list[tuple[int, Any, int | None]],
+    timeout_s: float | None,
+    collect_trace: bool,
+) -> dict[str, Any]:
+    """Execute one chunk of ``(index, item, seed)`` tasks in a worker.
+
+    Returns per-item outcomes plus the worker's span records and a metrics
+    snapshot covering exactly this chunk.
+    """
+    tracer.forget_thread()  # fork children inherit the parent's span stack
+    if collect_trace:
+        tracer.reset()
+        tracer.enable()
+    _reset_child_collectors()
+    outcomes = []
+    for index, item, task_seed in tasks:
+        _reseed(task_seed)
+        t0 = time.perf_counter()
+        try:
+            with _alarm_guard(timeout_s):
+                value = fn(item)
+            outcomes.append(
+                {
+                    "index": index,
+                    "ok": True,
+                    "value": value,
+                    "duration": time.perf_counter() - t0,
+                }
+            )
+        except Exception as exc:
+            outcomes.append(
+                {
+                    "index": index,
+                    "ok": False,
+                    "error": str(exc) or type(exc).__name__,
+                    "error_type": type(exc).__name__,
+                    "duration": time.perf_counter() - t0,
+                }
+            )
+    payload = {
+        "results": outcomes,
+        "pid": os.getpid(),
+        "metrics": registry.snapshot(),
+        "trace": tracer.records() if collect_trace else [],
+    }
+    if collect_trace:
+        tracer.disable()
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# parent side
+# ---------------------------------------------------------------------------
+
+def _chunked(seq: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split *seq* into contiguous chunks of at most *size* items."""
+    return [list(seq[i : i + size]) for i in range(0, len(seq), size)]
+
+
+def _merge_chunk_obs(payload: dict[str, Any], submitted_at: float) -> None:
+    """Fold one chunk's trace records and metrics into the parent."""
+    if payload["trace"]:
+        tracer.ingest(
+            payload["trace"],
+            ts_offset=max(0.0, submitted_at),
+            parent_id=tracer.current_span_id(),
+            extra_attrs={"worker_pid": payload["pid"]},
+        )
+    try:
+        registry.merge_snapshot(payload["metrics"], origin="worker")
+    except ValueError:
+        registry.counter("runner.metrics_merge_failures").inc()
+
+
+def _pick_context(start_method: str | None):
+    """The multiprocessing context to use, or None if none is usable."""
+    methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        return multiprocessing.get_context(start_method) if start_method in methods else None
+    for preferred in ("fork", "forkserver", "spawn"):
+        if preferred in methods:
+            return multiprocessing.get_context(preferred)
+    return None
+
+
+def _run_serial(
+    fn: Callable[[Any], Any],
+    items: Sequence[Any],
+    *,
+    timeout_s: float | None,
+    retries: int,
+    backoff_s: float,
+    seed: int | None,
+) -> list[TaskResult]:
+    """In-process fallback with identical retry/timeout/seeding semantics."""
+    results = []
+    for index, item in enumerate(items):
+        result = TaskResult(index=index, worker=os.getpid())
+        for attempt in range(retries + 1):
+            if attempt:
+                time.sleep(min(backoff_s * 2 ** (attempt - 1), _MAX_BACKOFF_S))
+                registry.counter("runner.tasks.retried").inc()
+            result.attempts = attempt + 1
+            _reseed(derive_seed(seed, index))
+            t0 = time.perf_counter()
+            try:
+                with _alarm_guard(timeout_s):
+                    result.value = fn(item)
+                result.error = result.error_type = None
+                result.duration_s = time.perf_counter() - t0
+                break
+            except Exception as exc:
+                result.duration_s = time.perf_counter() - t0
+                result.error = str(exc) or type(exc).__name__
+                result.error_type = type(exc).__name__
+        registry.counter(
+            "runner.tasks.completed" if result.ok else "runner.tasks.failed"
+        ).inc()
+        results.append(result)
+    return results
+
+
+def run_many(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    max_workers: int = 1,
+    timeout_s: float | None = None,
+    retries: int = 0,
+    backoff_s: float = 0.25,
+    chunk_size: int | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    disk_max_bytes: int | None = None,
+    seed: int | None = None,
+    start_method: str | None = None,
+) -> list[TaskResult]:
+    """Run ``fn(item)`` for every item, fanned out over worker processes.
+
+    Returns one :class:`TaskResult` per item, in item order.  With
+    ``max_workers=1`` (the default) or when no multiprocessing start
+    method is usable, everything runs serially in-process — same
+    semantics, no pickling requirement.
+
+    ``cache_dir`` attaches the persistent kernel cache in the parent *and*
+    in every worker, so min-plus results computed by any process are
+    shared with all others and with future runs.  ``seed`` drives the
+    deterministic per-task reseed (None disables reseeding).  ``retries``
+    bounds resubmission of failed/timed-out items, with exponential
+    ``backoff_s`` sleeps between waves.
+    """
+    items = list(items)
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if cache_dir is not None:
+        from repro.perf.cache import attach_disk_cache
+
+        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes)
+        cache_dir = str(cache_dir)
+    if not items:
+        return []
+
+    workers = max(1, min(int(max_workers), len(items)))
+    context = _pick_context(start_method) if workers > 1 else None
+    registry.gauge("runner.workers").set_max(workers)
+
+    if workers == 1 or context is None:
+        with tracer.span("runner.run_many", tasks=len(items), workers=1, mode="serial"):
+            return _run_serial(
+                fn,
+                items,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                seed=seed,
+            )
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-len(items) // (workers * 4)))
+    chunk_size = max(1, int(chunk_size))
+
+    results = {
+        i: TaskResult(index=i, error="not run", error_type="RunnerError")
+        for i in range(len(items))
+    }
+    attempts = dict.fromkeys(range(len(items)), 0)
+    pending = list(range(len(items)))
+    wave = 0
+
+    collect_trace = tracer.enabled
+    backstop = (
+        None
+        if timeout_s is None
+        else lambda n: timeout_s * n * (retries + 1) + _BACKSTOP_SLACK_S
+    )
+
+    def make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(cache_dir, disk_max_bytes),
+        )
+
+    with tracer.span(
+        "runner.run_many", tasks=len(items), workers=workers, mode="parallel"
+    ):
+        try:
+            executor = make_executor()
+        except (OSError, ValueError):
+            # e.g. no /dev/shm semaphores in a locked-down sandbox
+            registry.counter("runner.pool_fallbacks").inc()
+            return _run_serial(
+                fn,
+                items,
+                timeout_s=timeout_s,
+                retries=retries,
+                backoff_s=backoff_s,
+                seed=seed,
+            )
+        try:
+            while pending:
+                if wave:
+                    time.sleep(min(backoff_s * 2 ** (wave - 1), _MAX_BACKOFF_S))
+                for i in pending:
+                    attempts[i] += 1
+                wave_attempt = {i: attempts[i] for i in pending}
+                chunks = _chunked(
+                    [(i, items[i], derive_seed(seed, i)) for i in pending],
+                    chunk_size,
+                )
+                futures = {}
+                for chunk in chunks:
+                    registry.counter("runner.chunks").inc()
+                    futures[
+                        executor.submit(_run_chunk, fn, chunk, timeout_s, collect_trace)
+                    ] = (chunk, tracer.now())
+                retry_candidates: list[int] = []
+                not_done = set(futures)
+                while not_done:
+                    deadline = backstop(chunk_size) if backstop else None
+                    done, not_done = wait(
+                        not_done, timeout=deadline, return_when=FIRST_COMPLETED
+                    )
+                    if not done:
+                        # backstop tripped: the pool is wedged — abandon it
+                        registry.counter("runner.pool_restarts").inc()
+                        executor.shutdown(wait=False, cancel_futures=True)
+                        for future in not_done:
+                            chunk, _ = futures[future]
+                            for index, _, _ in chunk:
+                                results[index].error = (
+                                    f"chunk deadline exceeded ({deadline:.0f}s)"
+                                )
+                                results[index].error_type = "TaskTimeout"
+                                results[index].attempts = wave_attempt[index]
+                                retry_candidates.append(index)
+                        executor = make_executor()
+                        break
+                    for future in done:
+                        chunk, submitted_at = futures[future]
+                        try:
+                            payload = future.result()
+                        except BrokenProcessPool:
+                            registry.counter("runner.pool_restarts").inc()
+                            for index, _, _ in chunk:
+                                results[index].error = "worker process died"
+                                results[index].error_type = "BrokenProcessPool"
+                                results[index].attempts = wave_attempt[index]
+                                retry_candidates.append(index)
+                            executor.shutdown(wait=False, cancel_futures=True)
+                            executor = make_executor()
+                            continue
+                        except Exception as exc:
+                            for index, _, _ in chunk:
+                                results[index].error = str(exc) or type(exc).__name__
+                                results[index].error_type = type(exc).__name__
+                                results[index].attempts = wave_attempt[index]
+                                retry_candidates.append(index)
+                            continue
+                        _merge_chunk_obs(payload, submitted_at)
+                        for outcome in payload["results"]:
+                            index = outcome["index"]
+                            result = results[index]
+                            result.attempts = wave_attempt[index]
+                            result.duration_s = outcome["duration"]
+                            result.worker = payload["pid"]
+                            if outcome["ok"]:
+                                result.value = outcome["value"]
+                                result.error = result.error_type = None
+                            else:
+                                result.error = outcome["error"]
+                                result.error_type = outcome["error_type"]
+                                if outcome["error_type"] == "TaskTimeout":
+                                    registry.counter("runner.tasks.timeouts").inc()
+                                retry_candidates.append(index)
+                pending = sorted(
+                    i for i in set(retry_candidates) if attempts[i] <= retries
+                )
+                if pending:
+                    registry.counter("runner.tasks.retried").inc(len(pending))
+                wave += 1
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    ordered = [results[i] for i in range(len(items))]
+    registry.counter("runner.tasks.completed").inc(sum(r.ok for r in ordered))
+    registry.counter("runner.tasks.failed").inc(sum(not r.ok for r in ordered))
+    return ordered
+
+
+def sweep(
+    fn: Callable[..., Any],
+    grid: dict[str, Iterable[Any]],
+    *,
+    fixed: dict[str, Any] | None = None,
+    **runner_kwargs: Any,
+) -> SweepResult:
+    """Fan a parameter grid out across workers.
+
+    *grid* maps parameter names to value lists; the cartesian product (in
+    the given key order) defines the sweep points, each merged over the
+    *fixed* keyword arguments and passed to ``fn(**params)``.  All
+    :func:`run_many` options apply.  ``fn`` must be a module-level
+    callable (it is pickled by reference into the workers).
+    """
+    grid = {name: list(values) for name, values in grid.items()}
+    for name, values in grid.items():
+        if not values:
+            raise ValueError(f"sweep grid axis {name!r} is empty")
+    names = list(grid)
+    points = [
+        {**(fixed or {}), **dict(zip(names, combo))}
+        for combo in itertools.product(*grid.values())
+    ]
+    with tracer.span("runner.sweep", points=len(points), axes=",".join(names)):
+        results = run_many(
+            _call_with_kwargs, [(fn, point) for point in points], **runner_kwargs
+        )
+    return SweepResult(grid=grid, points=points, results=results)
+
+
+def _call_with_kwargs(pair: tuple[Callable[..., Any], dict[str, Any]]) -> Any:
+    """Adapter: expand a ``(fn, kwargs)`` sweep item into ``fn(**kwargs)``."""
+    fn, kwargs = pair
+    return fn(**kwargs)

@@ -81,3 +81,81 @@ class TestCli:
         assert main(["E5", "--frames", "12"]) == 0
         out = capsys.readouterr().out
         assert "Minimum PE2 clock frequency" in out
+
+
+class TestParallelCli:
+    def test_parallel_run_matches_serial_output(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        assert main(["E1", "E2", "--parallel", "2", "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "[E1]" in out and "[E2]" in out
+        assert (out_dir / "E1.manifest.json").exists()
+        combined = json.loads((out_dir / "PARALLEL.manifest.json").read_text())
+        assert combined["schema"] == "repro.run-manifest/1"
+        assert [c["experiment_id"] for c in combined["children"]] == ["E1", "E2"]
+
+    def test_parallel_trace_and_metrics(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        args = ["E1", "--parallel", "2", "--trace", str(trace)]
+        assert main(args + ["--metrics-out", str(metrics)]) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = [r["name"] for r in records]
+        assert "runner.run_many" in names and "experiment:E1" in names
+        ids = {r["id"] for r in records}
+        assert all(r["parent"] is None or r["parent"] in ids for r in records)
+        snap = json.loads(metrics.read_text())
+        worker_series = [
+            c for c in snap["counters"] if c["labels"].get("origin") == "worker"
+        ]
+        assert worker_series, "worker metrics must be merged into the snapshot"
+
+    def test_parallel_failure_exits_nonzero(self, capsys, tmp_path):
+        # an impossible frames value makes the case-study build fail in the
+        # worker; the CLI must surface it and exit 1 without crashing
+        assert main(["E5", "--frames", "-3", "--parallel", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "error: E5:" in err
+
+    def test_cache_dir_serial_populates_disk(self, capsys, tmp_path):
+        cache_dir = tmp_path / "kernels"
+        import repro.perf as perf
+
+        perf.clear_cache()  # force compute misses so results write through
+        try:
+            assert main(["E1", "--cache-dir", str(cache_dir)]) == 0
+        finally:
+            perf.configure(disk_dir=False)
+        assert list(cache_dir.rglob("*.pkl")), "disk cache must be populated"
+
+
+class TestSweepCli:
+    def test_sweep_renders_table_and_manifests(self, capsys, tmp_path, small_context):
+        out_dir = tmp_path / "sweep-out"
+        args = [
+            "sweep",
+            "--buffers",
+            "810,1620",
+            "--frames",
+            "12",
+            "--dense-limit",
+            "512",
+            "--growth",
+            "1.05",
+            "--out-dir",
+            str(out_dir),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "Frequency/backlog sweep" in out
+        assert "2/2 points" in out
+        combined = json.loads((out_dir / "SWEEP.manifest.json").read_text())
+        assert combined["experiment_id"] == "SWEEP"
+        assert len(combined["children"]) == 2
+        assert (out_dir / "SWEEP-b810.txt").exists()
+
+    def test_sweep_rejects_bad_buffers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["sweep", "--buffers", "810,nope"])
+        assert excinfo.value.code != 0
+        assert "--buffers" in capsys.readouterr().err
