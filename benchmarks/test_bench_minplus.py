@@ -1,0 +1,158 @@
+"""Acceptance gates for the structure-aware min-plus layer.
+
+Two properties of PR 4 are load-bearing enough to gate in CI:
+
+* the convex ⊗ convex slope-merge fast path must beat the generic
+  per-interval envelope kernel by >= 10x on large (>= 200-segment)
+  operands — that is the regime where design-space sweeps spend their
+  time, and a dispatch regression would silently fall back to the
+  O(n·m) kernel;
+* the streaming workload extraction must process a million-event demand
+  trace in bounded memory — a small multiple of the chunk size, not of
+  the trace — while returning bit-identical envelopes to the one-shot
+  kernel.
+
+Both gates run as plain tests (no ``--benchmark-only`` needed) and merge
+their measurements into ``benchmarks/BENCH_minplus.json``.
+"""
+
+import json
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro.perf as perf
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.minplus import convolve, convolve_generic
+from repro.util.staircase import (
+    cumulative_envelope_minmax,
+    make_k_grid,
+    streaming_envelope_minmax,
+)
+
+BENCH_PATH = Path(__file__).parent / "BENCH_minplus.json"
+
+SEGMENTS = 200
+STREAM_EVENTS = 1_000_000
+STREAM_CHUNK = 8_192
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    report = {}
+    if BENCH_PATH.exists():
+        report = json.loads(BENCH_PATH.read_text())
+    report[section] = payload
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _random_convex(rng: np.random.Generator, n: int) -> PiecewiseLinearCurve:
+    gaps = rng.uniform(0.5, 2.0, n - 1)
+    xs = np.concatenate(([0.0], np.cumsum(gaps)))
+    ss = np.sort(rng.uniform(0.1, 10.0, n))
+    ys = np.cumsum(np.concatenate(([0.0], np.diff(xs) * ss[:-1])))
+    return PiecewiseLinearCurve(xs, ys, ss)
+
+
+def _stream_chunks():
+    rng = np.random.default_rng(42)
+    for start in range(0, STREAM_EVENTS, STREAM_CHUNK):
+        yield rng.uniform(1e3, 1.5e4, min(STREAM_CHUNK, STREAM_EVENTS - start))
+
+
+def test_convex_fast_path_speedup_gate():
+    """The slope merge must be >= 10x faster than the generic kernel on
+    200-segment convex operands, with pointwise-identical results."""
+    rng = np.random.default_rng(12345)
+    f = _random_convex(rng, SEGMENTS)
+    g = _random_convex(rng, SEGMENTS)
+    assert f.is_convex and g.is_convex
+
+    perf.configure(enabled=False)  # time the kernels, not the memo cache
+    try:
+        t0 = time.perf_counter()
+        oracle = convolve_generic(f, g)
+        generic_seconds = time.perf_counter() - t0
+
+        fast_seconds = np.inf
+        for _ in range(5):
+            t0 = time.perf_counter()
+            fast = convolve(f, g)
+            fast_seconds = min(fast_seconds, time.perf_counter() - t0)
+    finally:
+        perf.configure(enabled=True)
+
+    pts = np.linspace(0.0, float(fast.breakpoints[-1]) * 1.5, 4_096)
+    np.testing.assert_allclose(fast(pts), oracle(pts), rtol=1e-12, atol=1e-12)
+    assert fast.is_convex
+
+    speedup = generic_seconds / fast_seconds
+    _merge_report(
+        "convex_convolve",
+        {
+            "segments": SEGMENTS,
+            "generic_seconds": generic_seconds,
+            "fast_seconds": fast_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 10.0, f"convex fast path {speedup:.1f}x below the 10x gate"
+
+
+def test_streaming_extraction_bounded_memory_gate():
+    """A 1M-event trace must stream through the extraction fold with peak
+    memory a fraction of the materialized trace, bit-identically."""
+    ks = make_k_grid(4_096, dense_limit=256, growth=1.1)
+    trace_bytes = STREAM_EVENTS * 8
+
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    lo, hi = streaming_envelope_minmax(_stream_chunks(), ks, total=STREAM_EVENTS)
+    stream_seconds = time.perf_counter() - t0
+    _, peak_bytes = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+
+    full = np.concatenate(list(_stream_chunks()))
+    lo1, hi1 = cumulative_envelope_minmax(full, ks)
+    assert np.array_equal(lo, lo1)
+    assert np.array_equal(hi, hi1)
+
+    _merge_report(
+        "streaming_extraction",
+        {
+            "events": STREAM_EVENTS,
+            "chunk": STREAM_CHUNK,
+            "k_grid": int(ks.size),
+            "k_max": int(ks[-1]),
+            "seconds": stream_seconds,
+            "peak_bytes": peak_bytes,
+            "trace_bytes": trace_bytes,
+        },
+    )
+    assert peak_bytes < trace_bytes / 4, (
+        f"streaming peak {peak_bytes / 1e6:.2f} MB is not bounded well below "
+        f"the {trace_bytes / 1e6:.0f} MB materialized trace"
+    )
+
+
+def test_bench_convex_convolve_fast(benchmark):
+    rng = np.random.default_rng(7)
+    f = _random_convex(rng, SEGMENTS)
+    g = _random_convex(rng, SEGMENTS)
+    perf.configure(enabled=False)
+    try:
+        result = benchmark(convolve, f, g)
+    finally:
+        perf.configure(enabled=True)
+    assert result.is_convex
+
+
+def test_bench_streaming_fold(benchmark):
+    ks = make_k_grid(1_024, dense_limit=128, growth=1.1)
+    rng = np.random.default_rng(3)
+    chunks = [rng.uniform(1e3, 1.5e4, 4_096) for _ in range(16)]
+    # a fresh iterator per round: the fold consumes its input
+    lo, hi = benchmark(lambda: streaming_envelope_minmax(iter(chunks), ks))
+    assert np.all(lo <= hi)

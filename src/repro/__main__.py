@@ -267,6 +267,14 @@ def _sweep_main(argv: list[str]) -> int:
         help="k-grid geometric growth factor (fidelity knob)",
     )
     parser.add_argument(
+        "--stream-chunk",
+        type=int,
+        default=None,
+        metavar="N",
+        help="extract workload curves from the clip traces in chunks of N "
+        "events (bounded-memory streaming fold; identical results)",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -309,6 +317,7 @@ def _sweep_main(argv: list[str]) -> int:
                 "frames": args.frames,
                 "dense_limit": args.dense_limit,
                 "growth": args.growth,
+                "stream_chunk": args.stream_chunk,
             },
             max_workers=args.parallel,
             cache_dir=args.cache_dir,
@@ -358,6 +367,7 @@ def _sweep_main(argv: list[str]) -> int:
                 "frames": args.frames,
                 "dense_limit": args.dense_limit,
                 "growth": args.growth,
+                "stream_chunk": args.stream_chunk,
                 "parallel": args.parallel,
                 "seed": args.seed,
             },

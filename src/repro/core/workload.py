@@ -53,6 +53,7 @@ from repro.util.staircase import (
     cumulative_envelope_max,
     cumulative_envelope_min,
     make_k_grid,
+    streaming_envelope_minmax,
 )
 from repro.util.validation import (
     ValidationError,
@@ -180,6 +181,33 @@ class WorkloadCurve:
             else:
                 vs = cumulative_envelope_min(per_event, ks)
         return cls(kind, ks, vs)
+
+    @classmethod
+    def from_demand_stream(
+        cls,
+        chunks,
+        kind: Kind,
+        *,
+        k_values: Sequence[int] | None = None,
+        total: int | None = None,
+    ) -> "WorkloadCurve":
+        """Bounded-memory extraction from a *chunked* demand stream.
+
+        Equivalent to :meth:`from_demand_array` on the concatenated chunks
+        — bit-identical values, verified by the differential suite — but
+        folded through :func:`repro.util.staircase
+        .streaming_envelope_minmax`, so only one chunk plus a trailing
+        ``k_max`` window of prefix sums is ever resident.  This is the
+        extraction path for multi-million-event traces that should not be
+        materialized.
+
+        One of *k_values* (an explicit window grid) or *total* (the known
+        stream length, from which the default
+        :func:`~repro.util.staircase.make_k_grid` is built) is required,
+        since the stream's length is unknown until it has been consumed.
+        """
+        ks, lo, hi = _stream_envelopes(chunks, kind, k_values, total)
+        return cls(kind, ks, hi if kind == "upper" else lo)
 
     @classmethod
     def from_constant(cls, kind: Kind, per_event_demand: float, *, horizon: int = 64) -> "WorkloadCurve":
@@ -437,6 +465,40 @@ class WorkloadCurve:
         )
 
 
+def _stream_envelopes(
+    chunks, kind: str, k_values: Sequence[int] | None, total: int | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve the grid, validate the chunks lazily, and fold the stream.
+
+    Returns ``(k_grid, min_envelope, max_envelope)``.  Demand validation
+    (positive, finite) happens chunk-by-chunk inside the fold so the
+    stream is still consumed exactly once and never materialized.
+    """
+    if k_values is None:
+        if total is None:
+            raise ValidationError(
+                "streaming extraction needs k_values or total to size the grid"
+            )
+        ks = make_k_grid(check_integer(total, "total", minimum=1))
+    else:
+        ks = np.asarray(k_values, dtype=np.int64)
+
+    def validated(stream):
+        for chunk in stream:
+            arr = np.asarray(chunk, dtype=float)
+            if arr.ndim != 1:
+                raise ValidationError("stream chunks must be 1-D sequences")
+            if arr.size and (np.any(arr <= 0) or not np.all(np.isfinite(arr))):
+                raise ValidationError("demands must be positive and finite")
+            yield arr
+
+    with tracer.span(
+        "workload.extract", source="demand-stream", kind=kind, grid=int(ks.size)
+    ):
+        lo, hi = streaming_envelope_minmax(validated(chunks), ks, total=total)
+    return ks, lo, hi
+
+
 class WorkloadCurvePair:
     """An upper and a lower workload curve of the same task, kept consistent.
 
@@ -479,6 +541,21 @@ class WorkloadCurvePair:
             WorkloadCurve.from_demand_array(demands, "upper", k_values=k_values),
             WorkloadCurve.from_demand_array(demands, "lower", k_values=k_values),
         )
+
+    @classmethod
+    def from_demand_stream(
+        cls,
+        chunks,
+        *,
+        k_values: Sequence[int] | None = None,
+        total: int | None = None,
+    ) -> "WorkloadCurvePair":
+        """Both curves from one bounded-memory pass over a chunked stream
+        (see :meth:`WorkloadCurve.from_demand_stream`); the min and max
+        envelopes are folded simultaneously, so the pair costs a single
+        consumption of the stream."""
+        ks, lo, hi = _stream_envelopes(chunks, "pair", k_values, total)
+        return cls(WorkloadCurve("upper", ks, hi), WorkloadCurve("lower", ks, lo))
 
     @property
     def wcet(self) -> float:

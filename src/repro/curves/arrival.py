@@ -12,6 +12,12 @@ Provided constructors:
   (periodic with jitter), as staircases with sound linear tails;
 * :func:`from_trace_upper` / :func:`from_trace_lower` — exact staircase
   envelopes of a timestamped trace (the paper's simulation-driven mode).
+
+Structure: a leaky bucket classifies as ``"concave"`` (``"affine"`` when
+burstless) under :attr:`~repro.curves.curve.PiecewiseLinearCurve.shape`,
+so compositions of buckets ride the closed-form min-plus fast paths; the
+staircase constructors produce jumpy ``"general"`` curves that always use
+the generic (exact) kernels.
 """
 
 from __future__ import annotations

@@ -80,6 +80,7 @@ class PiecewiseLinearCurve:
         self._s = sa
         self._digest: bytes | None = None
         self._hash: int | None = None
+        self._shape: str | None = None
 
     # -- accessors ------------------------------------------------------------------
     @property
@@ -106,6 +107,69 @@ class PiecewiseLinearCurve:
     def n_segments(self) -> int:
         """Number of linear segments."""
         return int(self._x.size)
+
+    # -- structure classification -----------------------------------------------------
+    @property
+    def shape(self) -> str:
+        """Structural class of the curve under the min-plus ``f(0) = 0``
+        convention: ``"convex"``, ``"concave"``, ``"affine"`` (both), or
+        ``"general"``.
+
+        Classified once per instance and cached alongside the content
+        digest; the min-plus operators in :mod:`repro.curves.minplus` use
+        it to dispatch to closed-form ``O(n + m)`` fast paths.
+
+        The classification is of the *effective* function ``f̃`` with
+        ``f̃(0) = 0`` (the stored ``f(0)`` is the right limit, i.e. the
+        burst):
+
+        * **convex** — ``f(0) = 0``, continuous (no jumps anywhere), and
+          slopes non-decreasing.  E.g. rate-latency service curves.
+        * **concave** — continuous on ``(0, ∞)`` (an upward jump at 0 is
+          allowed — ``f̃`` with a burst is still concave in the min-plus
+          sense) and slopes non-increasing.  E.g. leaky buckets.
+        * **affine** — both of the above: a single rate through the
+          origin, such as the full-processor service curve ``F·Δ``.
+        * **general** — everything else (staircases, TDMA curves, …).
+
+        Interior continuity is checked with *exact* float equality: a
+        curve whose breakpoint values carry rounding noise classifies as
+        ``"general"`` and takes the generic (always-correct) kernels, so a
+        misclassification can cost speed but never correctness.
+        """
+        if self._shape is None:
+            self._shape = self._classify()
+        return self._shape
+
+    def _classify(self) -> str:
+        if self._x.size > 1:
+            left_limits = self._y[:-1] + self._s[:-1] * np.diff(self._x)
+            continuous = bool(np.all(self._y[1:] == left_limits))
+        else:
+            continuous = True
+        if not continuous:
+            return "general"
+        diffs = np.diff(self._s)
+        convex = self._y[0] == 0.0 and bool(np.all(diffs >= 0))
+        concave = bool(np.all(diffs <= 0))
+        if convex and concave:
+            return "affine"
+        if convex:
+            return "convex"
+        if concave:
+            return "concave"
+        return "general"
+
+    @property
+    def is_convex(self) -> bool:
+        """True if the curve is convex with ``f(0) = 0`` (see :attr:`shape`)."""
+        return self.shape in ("convex", "affine")
+
+    @property
+    def is_concave(self) -> bool:
+        """True if the effective min-plus function is concave (see
+        :attr:`shape`); an upward jump at 0 (a burst) is allowed."""
+        return self.shape in ("concave", "affine")
 
     # -- evaluation -----------------------------------------------------------------
     def __call__(self, delta):
@@ -226,14 +290,17 @@ class PiecewiseLinearCurve:
         # slope at each breakpoint: slope of the winning curve just after it
         f_vals, g_vals = self(xall), other(xall)
         f_slopes, g_slopes = self._slope_at(xall), other._slope_at(xall)
+        # ties must be detected with a *tight* tolerance: a loose absolute
+        # tolerance (np.isclose's default 1e-8) classifies genuinely distinct
+        # small values as equal and then picks the wrong continuation slope,
+        # manufacturing a downward jump at the next crossing point
+        tie = np.isclose(f_vals, g_vals, rtol=1e-12, atol=1e-15)
         if pick_max:
             winner_f = f_vals > g_vals
-            tie = np.isclose(f_vals, g_vals)
             slopes = np.where(winner_f, f_slopes, g_slopes)
             slopes = np.where(tie, np.maximum(f_slopes, g_slopes), slopes)
         else:
             winner_f = f_vals < g_vals
-            tie = np.isclose(f_vals, g_vals)
             slopes = np.where(winner_f, f_slopes, g_slopes)
             slopes = np.where(tie, np.minimum(f_slopes, g_slopes), slopes)
         return PiecewiseLinearCurve(xall, yall, slopes).simplified()

@@ -29,16 +29,37 @@ including the crossing breakpoints that do not belong to the sum set.
 
 Performance
 -----------
-The candidate-line construction and the envelope sweep are vectorized
-(per-interval batch numpy instead of per-breakpoint Python), and the full
-curve operators are memoized by operand content digest through
-:mod:`repro.perf.cache` — a design-space sweep that re-convolves the same
-pair pays for the construction once.  Every kernel body reports call
-counts and timing histograms into the :mod:`repro.obs` metrics registry
-and, when tracing is enabled, opens a span carrying the operand segment
-counts.  The fast paths are validated against
-the definitional brute-force implementations in :mod:`repro.reference` by
-the differential-oracle suite.
+The operators are *structure-aware*: every
+:class:`~repro.curves.curve.PiecewiseLinearCurve` carries a cached
+convexity/concavity classification (:attr:`~repro.curves.curve
+.PiecewiseLinearCurve.shape`), and the curve operators dispatch on it:
+
+* **convex ⊗ convex** — closed-form slope merge in ``O(n + m)``: the
+  convolution of convex PWL curves through the origin is their segments
+  laid end to end in order of increasing slope;
+* **concave ⊗ concave** — pointwise minimum (the textbook leaky-bucket
+  identity generalized: for concave ``f, g`` with ``f(0) = g(0) = 0``
+  under the min-plus convention, ``f ⊗ g = min(f, g)``);
+* **concave ⊘ convex** — a descending-slope merge walk in ``O(n + m)``:
+  the inner objective ``f(Δ + u) − g(u)`` is concave in ``u``, so the
+  supremum tracks a single slope-crossover point;
+* everything else falls back to the generic exact construction
+  (:func:`convolve_generic` / :func:`deconvolve_generic`), which is
+  ``O(n·m·(n+m))`` and kept as the oracle the fast paths are verified
+  against.
+
+The generic candidate-line construction and the envelope sweep are
+vectorized (per-interval batch numpy instead of per-breakpoint Python),
+and the full curve operators are memoized by operand content digest —
+with a structure tag in the key — through :mod:`repro.perf.cache`, so a
+design-space sweep that re-convolves the same pair pays for the
+construction once.  Every kernel body reports call counts and timing
+histograms into the :mod:`repro.obs` metrics registry and, when tracing
+is enabled, opens a span carrying the operand segment counts.  All paths
+are validated against the definitional brute-force implementations in
+:mod:`repro.reference` by the differential-oracle suite, and the fast
+paths additionally against the generic kernels by the structure property
+suite (``tests/curves/test_minplus_structure.py``).
 """
 
 from __future__ import annotations
@@ -57,6 +78,8 @@ __all__ = [
     "deconvolve",
     "convolve_at",
     "deconvolve_at",
+    "convolve_generic",
+    "deconvolve_generic",
     "self_convolution_fixpoint",
     "UnboundedCurveError",
 ]
@@ -274,18 +297,102 @@ def _configuration_lines_convolve(
 def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     """Min-plus convolution ``f ⊗ g`` as a new PWL curve (exact).
 
-    With ``n`` and ``m`` segments the construction is O(n·m·(n+m)); for
-    trace staircases with thousands of jumps prefer :func:`convolve_at` on
-    the Δ values you need.  Results are memoized by operand content digest
-    (see :mod:`repro.perf.cache`).
+    Dispatches on the operands' cached structure classification
+    (:attr:`~repro.curves.curve.PiecewiseLinearCurve.shape`):
+    convex ⊗ convex and concave ⊗ concave take closed-form ``O(n + m)``
+    fast paths, everything else the generic ``O(n·m·(n+m))`` construction
+    (:func:`convolve_generic`) — for trace staircases with thousands of
+    jumps prefer :func:`convolve_at` on the Δ values you need.  Results
+    are memoized by operand content digest plus a structure tag (see
+    :mod:`repro.perf.cache`).
     """
-    key = ("minplus.convolve", f.content_digest(), g.content_digest())
-    return kernel_cache.get_or_compute(key, lambda: _convolve_impl(f, g))
+    key = (
+        "minplus.convolve",
+        f.shape + "*" + g.shape,
+        f.content_digest(),
+        g.content_digest(),
+    )
+    return kernel_cache.get_or_compute(key, lambda: _convolve_dispatch(f, g))
+
+
+def _convolve_dispatch(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    if f.is_convex and g.is_convex:
+        return _convolve_convex(f, g)
+    if f.is_concave and g.is_concave:
+        return _convolve_concave(f, g)
+    return _convolve_impl(f, g)
+
+
+def convolve_generic(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """The generic exact convolution, bypassing structure dispatch and cache.
+
+    Kept public as the oracle of the structure property suite: the
+    closed-form fast paths must agree with this construction pointwise on
+    every operand pair.
+    """
+    return _convolve_impl(f, g)
 
 
 def _pair_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
     """Span attributes of a binary curve kernel (only built while tracing)."""
     return {"f_segments": int(f.breakpoints.size), "g_segments": int(g.breakpoints.size)}
+
+
+def _restamp(out: PiecewiseLinearCurve, shape: str) -> PiecewiseLinearCurve:
+    """Attach a structure classification known by construction.
+
+    The lazy classifier checks interior continuity with exact float
+    equality, which cumsum rounding in the fast-path assembly can defeat;
+    the closed forms *prove* the result's structure, so an accidental
+    "general" verdict is overridden (a sharper verdict — "affine" — is
+    kept).
+    """
+    if out.shape == "general":
+        out._shape = shape
+    return out
+
+
+@instrumented("minplus.convolve_convex", attrs=_pair_attrs)
+def _convolve_convex(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """Closed form for convex operands through the origin, ``O(n + m)``.
+
+    The inf spends each unit of Δ on the cheapest marginal rate still
+    available, so ``f ⊗ g`` is all finite segments of both operands laid
+    end to end in order of increasing slope, capped by the smaller
+    asymptotic rate.
+    """
+    final = min(f.final_slope, g.final_slope)
+    lengths = np.concatenate((np.diff(f.breakpoints), np.diff(g.breakpoints)))
+    slopes = np.concatenate((f.slopes[:-1], g.slopes[:-1]))
+    # segments at or above the asymptotic rate sort after the infinite
+    # tail segment, i.e. they are never reached
+    keep = slopes < final
+    lengths, slopes = lengths[keep], slopes[keep]
+    order = np.argsort(slopes, kind="stable")
+    lengths, slopes = lengths[order], slopes[order]
+    xs = np.concatenate(([0.0], np.cumsum(lengths)))
+    ys = np.concatenate(([0.0], np.cumsum(lengths * slopes)))
+    ss = np.concatenate((slopes, [final]))
+    return _restamp(PiecewiseLinearCurve(xs, ys, ss).simplified(), "convex")
+
+
+@instrumented("minplus.convolve_concave", attrs=_pair_attrs)
+def _convolve_concave(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """Closed form for concave operands (bursts allowed), ``O(n + m)``.
+
+    Under the ``f(0) = 0`` convention both operands are star-shaped, so
+    ``f ⊗ g`` is their pointwise minimum — the textbook identity that the
+    convolution of leaky buckets is the min of the buckets.
+    """
+    return _restamp(f.minimum(g), "concave")
 
 
 @instrumented("minplus.convolve", attrs=_pair_attrs)
@@ -359,16 +466,105 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLin
     left-limit epsilon probes at jumps).
 
     Used for the output arrival curve ``α* = α ⊘ β`` of a served flow.
-    Raises :class:`UnboundedCurveError` when the result is infinite.
-    Results are memoized by operand content digest.
+    Dispatches on operand structure: concave ``f`` over convex ``g`` (the
+    dominant case — measured arrival envelope over rate-latency service)
+    takes a closed-form ``O(n + m)`` walk, everything else the generic
+    construction (:func:`deconvolve_generic`).  Raises
+    :class:`UnboundedCurveError` when the result is infinite.  Results are
+    memoized by operand content digest plus a structure tag.
     """
     if f.final_slope > g.final_slope + 1e-12:
         raise UnboundedCurveError(
             f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
             f"service rate {g.final_slope:g}"
         )
-    key = ("minplus.deconvolve", f.content_digest(), g.content_digest())
-    return kernel_cache.get_or_compute(key, lambda: _deconvolve_impl(f, g))
+    key = (
+        "minplus.deconvolve",
+        f.shape + "/" + g.shape,
+        f.content_digest(),
+        g.content_digest(),
+    )
+    return kernel_cache.get_or_compute(key, lambda: _deconvolve_dispatch(f, g))
+
+
+def _deconvolve_dispatch(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    # the fast path needs the supremum's slope crossover to exist exactly,
+    # hence the strict (no-epsilon) rate comparison; the sliver of curves
+    # admitted by deconvolve()'s tolerant divergence check falls back to
+    # the generic construction
+    if f.is_concave and g.is_convex and f.final_slope <= g.final_slope:
+        return _deconvolve_concave_convex(f, g)
+    return _deconvolve_impl(f, g)
+
+
+def deconvolve_generic(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """The generic exact deconvolution, bypassing structure dispatch and
+    cache.
+
+    Kept public as the oracle of the structure property suite.  Raises
+    :class:`UnboundedCurveError` when the result is infinite.
+    """
+    if f.final_slope > g.final_slope + 1e-12:
+        raise UnboundedCurveError(
+            f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
+            f"service rate {g.final_slope:g}"
+        )
+    return _deconvolve_impl(f, g)
+
+
+@instrumented("minplus.deconvolve_concave", attrs=_pair_attrs)
+def _deconvolve_concave_convex(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> PiecewiseLinearCurve:
+    """Closed form for concave ``f`` over convex ``g``, ``O(n + m)``.
+
+    The inner objective ``φ_Δ(u) = f(Δ + u) − g(u)`` is concave in ``u``
+    (concave minus convex), so at ``Δ = 0`` its supremum sits at the first
+    crossover ``u₀`` where f's slope has dropped to g's.  As Δ grows the
+    optimizer walks back down from ``u₀``: each step of the result either
+    extends ``Δ + u`` across an f-segment above ``u₀`` or retracts ``u``
+    across a g-segment below ``u₀``, whichever offers the larger marginal
+    slope.  The result is therefore the merge, in order of *decreasing*
+    slope, of f's segments on ``[u₀, ∞)`` with g's segments on
+    ``[0, u₀)``, starting from ``(f ⊘ g)(0) = f(u₀) − g(u₀)`` — concave by
+    construction, with f's asymptotic rate as its tail.
+    """
+    fx, fs = f.breakpoints, f.slopes
+    gx, gs = g.breakpoints, g.slopes
+    # u0: slopes are piecewise constant, f's non-increasing and g's
+    # non-decreasing, so probing the merged breakpoints finds the first
+    # crossover exactly; the caller's f.final_slope <= g.final_slope
+    # check guarantees one exists
+    w = np.union1d(fx, gx)
+    sf_w = fs[np.searchsorted(fx, w, side="right") - 1]
+    sg_w = gs[np.searchsorted(gx, w, side="right") - 1]
+    u0 = float(w[np.argmax(sf_w <= sg_w)])
+    r0 = float(f(u0)) - (0.0 if u0 == 0.0 else float(g(u0)))
+    # finite f-segments on [u0, inf); fs[-1] becomes the result's tail
+    i0 = int(np.searchsorted(fx, u0, side="right")) - 1
+    f_len = np.diff(np.concatenate(([u0], fx[i0 + 1:])))
+    f_slo = fs[i0:-1]
+    # g-segments covering [0, u0), walked in reverse
+    j0 = int(np.searchsorted(gx, u0, side="left"))
+    g_len = np.diff(np.concatenate((gx[:j0], [u0])))
+    g_slo = gs[:j0]
+    final = f.final_slope
+    lengths = np.concatenate((f_len, g_len))
+    slopes = np.concatenate((f_slo, g_slo))
+    # segments at or below the tail rate sort after the infinite tail
+    # segment, i.e. they are never reached
+    keep = slopes > final
+    lengths, slopes = lengths[keep], slopes[keep]
+    order = np.argsort(-slopes, kind="stable")
+    lengths, slopes = lengths[order], slopes[order]
+    xs = np.concatenate(([0.0], np.cumsum(lengths)))
+    ys = r0 + np.concatenate(([0.0], np.cumsum(lengths * slopes)))
+    ss = np.concatenate((slopes, [final]))
+    return _restamp(PiecewiseLinearCurve(xs, ys, ss).simplified(), "concave")
 
 
 @instrumented("minplus.deconvolve", attrs=_pair_attrs)

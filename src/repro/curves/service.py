@@ -5,6 +5,13 @@ receives from a resource in any window of length Δ (paper §3.2).  For a task
 owning a full programmable PE the natural curve is ``β(Δ) = F·Δ`` cycles
 (the form used in the paper's eq. (9)); shared resources yield rate-latency,
 TDMA, or remaining-service shapes.
+
+Structure: :func:`full_processor` classifies as ``"affine"`` and
+:func:`rate_latency` as ``"convex"`` under
+:attr:`~repro.curves.curve.PiecewiseLinearCurve.shape`, so deconvolving a
+measured (concave) arrival envelope against them takes the closed-form
+``O(n + m)`` min-plus fast path; :func:`tdma` alternates slopes and is
+``"general"``, falling back to the generic exact kernels.
 """
 
 from __future__ import annotations

@@ -32,7 +32,7 @@ from repro.analysis.frequency import (
     minimum_frequency_wcet,
 )
 from repro.core.operations import envelope_lower, envelope_upper
-from repro.core.workload import WorkloadCurve
+from repro.core.workload import WorkloadCurve, WorkloadCurvePair
 from repro.curves.arrival import from_trace_upper
 from repro.curves.curve import PiecewiseLinearCurve
 from repro.mpeg.bitstream import SyntheticClip
@@ -198,22 +198,39 @@ class CaseStudyContext:
 _CONTEXT_CACHE: dict[tuple, CaseStudyContext] = {}
 
 
+def _chunked(arr, size: int):
+    """Yield *arr* in consecutive chunks of *size* (bounded-memory feed)."""
+    for start in range(0, arr.size, size):
+        yield arr[start : start + size]
+
+
 def case_study_context(
     *,
     frames: int = 72,
     buffer_size: int = BUFFER_ONE_FRAME,
     dense_limit: int = 4096,
     growth: float = 1.015,
+    stream_chunk: int | None = None,
 ) -> CaseStudyContext:
     """Build (or fetch the cached) case-study context.
 
     *frames* trades fidelity against runtime: 72 frames (≈3 s, six GOPs,
     ≈117 k macroblocks per clip) reproduces the paper's numbers in about
     half a minute; smaller values are used by quick tests.
+
+    *stream_chunk* switches the workload-curve extraction to the
+    bounded-memory streaming fold
+    (:meth:`~repro.core.workload.WorkloadCurvePair.from_demand_stream`),
+    feeding each clip's demand trace in chunks of that many events.  The
+    resulting curves are bit-identical to the one-shot extraction; the
+    knob exists so long-trace sweeps (CLI ``--stream-chunk``, parallel
+    runner) bound per-worker memory.
     """
     frames = check_integer(frames, "frames", minimum=12)
     buffer_size = check_integer(buffer_size, "buffer_size", minimum=1)
-    key = (frames, buffer_size, dense_limit, growth)
+    if stream_chunk is not None:
+        stream_chunk = check_integer(stream_chunk, "stream_chunk", minimum=1)
+    key = (frames, buffer_size, dense_limit, growth, stream_chunk)
     if key in _CONTEXT_CACHE:
         ctx = _CONTEXT_CACHE[key]
         obs.record_input("case_study_context", ctx.input_digest)
@@ -234,12 +251,21 @@ def case_study_context(
                 k_grid = make_k_grid(
                     data.pe2_cycles.size, dense_limit=dense_limit, growth=growth
                 )
-                gammas_u.append(
-                    WorkloadCurve.from_demand_array(data.pe2_cycles, "upper", k_values=k_grid)
-                )
-                gammas_l.append(
-                    WorkloadCurve.from_demand_array(data.pe2_cycles, "lower", k_values=k_grid)
-                )
+                if stream_chunk is None:
+                    gammas_u.append(
+                        WorkloadCurve.from_demand_array(data.pe2_cycles, "upper", k_values=k_grid)
+                    )
+                    gammas_l.append(
+                        WorkloadCurve.from_demand_array(data.pe2_cycles, "lower", k_values=k_grid)
+                    )
+                else:
+                    pair = WorkloadCurvePair.from_demand_stream(
+                        _chunked(data.pe2_cycles, stream_chunk),
+                        k_values=k_grid,
+                        total=int(data.pe2_cycles.size),
+                    )
+                    gammas_u.append(pair.upper)
+                    gammas_l.append(pair.lower)
                 n_grid = make_k_grid(
                     data.pe1_output.size, dense_limit=dense_limit, growth=growth
                 )

@@ -65,17 +65,32 @@ def evaluate_at_many(
 
 
 def convolve_reduce(curves: Iterable[PiecewiseLinearCurve]) -> PiecewiseLinearCurve:
-    """Convolve a whole sequence, ``f₁ ⊗ f₂ ⊗ … ⊗ fₙ``, by pairwise
-    (balanced-tree) reduction.
+    """Convolve a whole sequence, ``f₁ ⊗ f₂ ⊗ … ⊗ fₙ``, structure-aware.
 
-    Min-plus convolution is associative, so the tree order is equivalent to
-    a left fold; the tree shape keeps intermediate curves small (the segment
-    count of a convolution grows with both operands) and lets
-    :func:`convolve_many` batch each level.
+    Min-plus convolution is associative *and commutative*, so the operands
+    may be regrouped freely.  The reduction first collapses the convex
+    operands among themselves and the concave operands among themselves:
+    both classes are closed under the fast paths of
+    :func:`repro.curves.minplus.convolve` (convex ⊗ convex is convex,
+    concave ⊗ concave is concave), so every intermediate of those two
+    sub-reductions stays in the ``O(n + m)`` regime.  Only then are the
+    group results and any unstructured operands folded by a balanced
+    pairwise tree — the tree shape keeps intermediate curves small and
+    lets :func:`convolve_many` batch each level through the kernel cache.
     """
     level = list(curves)
     if not level:
         raise ValidationError("convolve_reduce needs at least one curve")
+    if len(level) == 1:
+        return level[0]
+    convex = [c for c in level if c.is_convex]
+    concave = [c for c in level if c.is_concave and not c.is_convex]
+    general = [c for c in level if not (c.is_convex or c.is_concave)]
+    reduced = [_tree_reduce(group) for group in (convex, concave) if group]
+    return _tree_reduce(reduced + general)
+
+
+def _tree_reduce(level: list[PiecewiseLinearCurve]) -> PiecewiseLinearCurve:
     while len(level) > 1:
         pairs = list(zip(level[0::2], level[1::2]))
         reduced = convolve_many(pairs)

@@ -22,12 +22,16 @@ from repro.reference.minplus import (
     convolve_at_brute,
     deconvolve_at_brute,
     eval_pwl_brute,
+    is_concave_brute,
+    is_convex_brute,
 )
 
 __all__ = [
     "convolve_at_brute",
     "deconvolve_at_brute",
     "eval_pwl_brute",
+    "is_convex_brute",
+    "is_concave_brute",
     "window_sums_brute",
     "workload_values_brute",
     "workload_eval_brute",

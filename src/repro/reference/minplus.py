@@ -12,7 +12,13 @@ from __future__ import annotations
 
 from repro.curves.curve import PiecewiseLinearCurve
 
-__all__ = ["eval_pwl_brute", "convolve_at_brute", "deconvolve_at_brute"]
+__all__ = [
+    "eval_pwl_brute",
+    "convolve_at_brute",
+    "deconvolve_at_brute",
+    "is_convex_brute",
+    "is_concave_brute",
+]
 
 #: Uniform safety-net samples added to the candidate sets.
 DENSE_SAMPLES = 257
@@ -51,6 +57,81 @@ def _left_limit(curve: PiecewiseLinearCurve, x: float) -> float:
         else:
             break
     return ys[i] + ss[i] * (x - xs[i])
+
+
+def _chord_points(curve: PiecewiseLinearCurve, *, include_zero: bool) -> list[float]:
+    """Sorted sample abscissae: breakpoints plus a dense uniform grid out to
+    past the last breakpoint (both curve pieces beyond it are affine)."""
+    points = {float(x) for x in curve.breakpoints}
+    horizon = 2.0 * max(points) + 1.0
+    for i in range(DENSE_SAMPLES):
+        points.add(horizon * i / (DENSE_SAMPLES - 1))
+    if not include_zero:
+        points.discard(0.0)
+    return sorted(points)
+
+
+def _jumps_on(curve: PiecewiseLinearCurve, *, interior_only: bool) -> bool:
+    """True if the curve jumps at any breakpoint (optionally ignoring 0)."""
+    for x in curve.breakpoints:
+        x = float(x)
+        if interior_only and x == 0.0:
+            continue
+        value = eval_pwl_brute(curve, x)
+        left = float(curve.values_at_breakpoints[0]) if x == 0.0 else _left_limit(curve, x)
+        if abs(value - left) > 1e-9 * max(1.0, abs(value)):
+            return True
+    return False
+
+
+def is_convex_brute(curve: PiecewiseLinearCurve, *, tol: float = 1e-9) -> bool:
+    """Definitional convexity of the effective min-plus function ``f̃``.
+
+    ``f̃`` (which is 0 at 0) is convex iff ``f(0) = 0``, the curve never
+    jumps, and the chord slopes over consecutive sample points are
+    non-decreasing.  Pure Python; tolerance is relative to the local slope
+    magnitude.
+    """
+    if abs(float(curve.values_at_breakpoints[0])) > tol:
+        return False
+    if _jumps_on(curve, interior_only=False):
+        return False
+    return _chord_slopes_monotone(curve, sign=1, tol=tol, include_zero=True)
+
+
+def is_concave_brute(curve: PiecewiseLinearCurve, *, tol: float = 1e-9) -> bool:
+    """Definitional concavity of the effective min-plus function ``f̃``.
+
+    An upward jump at 0 (the burst) is allowed — ``f̃`` then is still
+    star-shaped and obeys the concave closed forms; away from 0 the curve
+    must be continuous with non-increasing chord slopes.
+    """
+    if _jumps_on(curve, interior_only=True):
+        return False
+    return _chord_slopes_monotone(curve, sign=-1, tol=tol, include_zero=False)
+
+
+def _chord_slopes_monotone(
+    curve: PiecewiseLinearCurve, *, sign: int, tol: float, include_zero: bool
+) -> bool:
+    points = _chord_points(curve, include_zero=include_zero)
+    prev_slope = None
+    for a, b in zip(points[:-1], points[1:]):
+        if b - a <= 0.0:
+            continue
+        slope = (eval_pwl_brute(curve, b) - eval_pwl_brute(curve, a)) / (b - a)
+        if prev_slope is not None:
+            drift = sign * (slope - prev_slope)
+            if drift < -tol * max(1.0, abs(slope), abs(prev_slope)):
+                return False
+        prev_slope = slope
+    # the unbounded tail continues with the final slope
+    tail = float(curve.slopes[-1])
+    if prev_slope is not None:
+        drift = sign * (tail - prev_slope)
+        if drift < -tol * max(1.0, abs(tail), abs(prev_slope)):
+            return False
+    return True
 
 
 def convolve_at_brute(

@@ -45,6 +45,7 @@ def frequency_backlog_point(
     frames: int = 72,
     dense_limit: int = 4096,
     growth: float = 1.015,
+    stream_chunk: int | None = None,
 ):
     """One sweep point: both frequency bounds and the event backlog at
     ``F^γ_min`` for a given FIFO *buffer_size*.
@@ -53,6 +54,8 @@ def frequency_backlog_point(
     distinct ``frames`` value — the persistent kernel cache makes the
     heavy curve extraction free for warm workers — then evaluates
     eq. (9)/(10) and the eq. (7) backlog bound at the minimum frequency.
+    *stream_chunk* feeds the clip traces to the extraction in chunks of
+    that many events (bounded per-worker memory, identical results).
     Harnessed: the returned result carries a ``repro.run-manifest/1``.
     """
     from repro.analysis.backlog import backlog_bound_events
@@ -65,11 +68,19 @@ def frequency_backlog_point(
 
     @harnessed
     def _point(
-        *, buffer_size: int, frames: int, dense_limit: int, growth: float
+        *,
+        buffer_size: int,
+        frames: int,
+        dense_limit: int,
+        growth: float,
+        stream_chunk: int | None,
     ) -> ExperimentResult:
         """Inner harnessed run so the manifest captures the point params."""
         ctx = case_study_context(
-            frames=frames, dense_limit=dense_limit, growth=growth
+            frames=frames,
+            dense_limit=dense_limit,
+            growth=growth,
+            stream_chunk=stream_chunk,
         )
         f_gamma = minimum_frequency_curves(ctx.alpha, ctx.gamma_u, buffer_size)
         f_wcet = minimum_frequency_wcet(ctx.alpha, ctx.wcet, buffer_size)
@@ -103,6 +114,7 @@ def frequency_backlog_point(
         frames=frames,
         dense_limit=dense_limit,
         growth=growth,
+        stream_chunk=stream_chunk,
     )
 
 

@@ -153,10 +153,18 @@ def replay_pipeline(
     """Closed-form replay of :func:`simulate_pipeline`.
 
     Completion times follow the single-server recursion
-    ``done_i = max(arrive_i, done_{i-1}) + demand_i / F``; the maximal
-    backlog is the largest ``i − j + 1`` such that item ``j`` is still
-    occupying its slot (``done_j > arrive_i``) when item ``i`` arrives —
-    computed with a two-pointer sweep (completions are monotone).
+    ``done_i = max(arrive_i, done_{i-1}) + demand_i / F``.  Unrolled, that
+    is the max-plus scan ``done_i = S_i + max_{j<=i}(arrive_j − S_{j-1})``
+    with ``S_i`` the cumulative service time — one ``cumsum`` plus one
+    ``np.maximum.accumulate``, no Python-level loop.  The maximal backlog
+    is the largest ``i − j + 1`` such that item ``j`` is still occupying
+    its slot (``done_j > arrive_i``) when item ``i`` arrives; ``done`` is
+    monotone, so each count is one ``np.searchsorted``.  Ties (an item
+    completing the instant another arrives) free the slot first, matching
+    the event-driven kernel's completion priority; the tie tolerance is
+    *relative* to the arrival time, so late arrivals in long traces — where
+    an absolute epsilon would vanish under the float spacing — compare the
+    same way early ones do.
     """
     arrivals, demands = _validate_inputs(arrivals, demands)
     check_positive(frequency, "frequency")
@@ -164,23 +172,15 @@ def replay_pipeline(
         "sim.pipeline", impl="replay", items=int(arrivals.size), frequency=frequency
     ):
         service = demands / frequency
-        done = np.empty(arrivals.size)
-        prev = -np.inf
-        for i in range(arrivals.size):
-            start = arrivals[i] if arrivals[i] > prev else prev
-            prev = start + service[i]
-            done[i] = prev
-        # two-pointer: for each arrival i, advance j past items finished by then
-        max_backlog = 0
-        j = 0
-        for i in range(arrivals.size):
-            while j <= i and done[j] <= arrivals[i] + 1e-15:
-                j += 1
-            backlog = i - j + 1
-            if backlog > max_backlog:
-                max_backlog = backlog
+        cum = np.cumsum(service)
+        done = cum + np.maximum.accumulate(arrivals - cum + service)
+        # items finished by each arrival (ties count as finished, as above)
+        tol = 1e-12 * np.maximum(1.0, np.abs(arrivals))
+        finished = np.searchsorted(done, arrivals + tol, side="right")
+        backlog = np.arange(arrivals.size) - finished + 1
+        max_backlog = max(int(backlog.max()), 0)
         makespan = float(done[-1])
-        busy = float(np.sum(service))
+        busy = float(cum[-1])
     registry.gauge("sim.fifo.high_water", fifo="PE2.fifo").set_max(max_backlog)
     registry.counter("sim.fifo.pushed", fifo="PE2.fifo").inc(int(arrivals.size))
     registry.counter("sim.pe.busy_seconds", pe="PE2").add(busy)

@@ -23,6 +23,7 @@ __all__ = [
     "cumulative_envelope_max",
     "cumulative_envelope_min",
     "cumulative_envelope_minmax",
+    "streaming_envelope_minmax",
     "is_non_decreasing",
     "is_strictly_increasing",
     "make_k_grid",
@@ -33,7 +34,11 @@ def sliding_window_max_sum(values: Sequence[float], k: int) -> float:
     """Maximum sum over all contiguous windows of length *k* in *values*.
 
     Implements ``max_j sum(values[j:j+k])`` — the inner maximization of the
-    paper's upper workload curve (eq. (1)) for a single ``k``.
+    paper's upper workload curve (eq. (1)) for a single ``k``.  Routed
+    through the memoized :func:`cumulative_envelope_minmax` kernel, so
+    single-``k`` probes during a sweep that has already extracted (or
+    probed) the same trace are cache hits instead of fresh ``cumsum``
+    passes.
 
     Raises
     ------
@@ -44,22 +49,22 @@ def sliding_window_max_sum(values: Sequence[float], k: int) -> float:
     k = check_integer(k, "k", minimum=1)
     if k > arr.size:
         raise ValidationError(f"window length k={k} exceeds trace length {arr.size}")
-    csum = np.concatenate(([0.0], np.cumsum(arr)))
-    return float(np.max(csum[k:] - csum[:-k]))
+    return float(cumulative_envelope_minmax(arr, np.array([k], dtype=np.int64))[1][0])
 
 
 def sliding_window_min_sum(values: Sequence[float], k: int) -> float:
     """Minimum sum over all contiguous windows of length *k* in *values*.
 
     Implements ``min_j sum(values[j:j+k])`` — the inner minimization of the
-    paper's lower workload curve (eq. (2)) for a single ``k``.
+    paper's lower workload curve (eq. (2)) for a single ``k``.  Memoized
+    like :func:`sliding_window_max_sum`; the min and max probes of the same
+    ``(values, k)`` share one cache entry.
     """
     arr = np.asarray(values, dtype=float)
     k = check_integer(k, "k", minimum=1)
     if k > arr.size:
         raise ValidationError(f"window length k={k} exceeds trace length {arr.size}")
-    csum = np.concatenate(([0.0], np.cumsum(arr)))
-    return float(np.min(csum[k:] - csum[:-k]))
+    return float(cumulative_envelope_minmax(arr, np.array([k], dtype=np.int64))[0][0])
 
 
 def cumulative_envelope_max(values: Sequence[float], k_values: Sequence[int]) -> np.ndarray:
@@ -111,6 +116,107 @@ def _envelope_minmax(arr: np.ndarray, ks: np.ndarray) -> tuple[np.ndarray, np.nd
     return lo, hi
 
 
+def streaming_envelope_minmax(
+    chunks: Iterable[Sequence[float]],
+    k_values: Sequence[int],
+    *,
+    total: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Both envelopes of a chunked demand stream, bit-identical to
+    :func:`cumulative_envelope_minmax` on the concatenated array.
+
+    Folds the stream with bounded memory: the prefix-sum sequence is
+    continued across chunk boundaries by seeding each chunk's ``cumsum``
+    with the running total (so every prefix sum is the *same float* the
+    one-shot kernel computes), and only the trailing ``k_max = k_values[-1]``
+    prefix sums are retained to form the cross-boundary windows.  Peak
+    memory is ``O(chunk + k_max + len(k_values))`` regardless of the trace
+    length — multi-million-event traces extract without ever materializing
+    the full demand array.
+
+    The stream is consumed once and cannot be content-addressed without
+    materializing it, so unlike the one-shot kernel this path is *not*
+    memoized.
+
+    Parameters
+    ----------
+    chunks:
+        Iterable of 1-D demand chunks (empty chunks are allowed).
+    k_values:
+        Strictly increasing positive window lengths.
+    total:
+        Optional expected event count; when given, the stream length is
+        verified against it.
+
+    Raises
+    ------
+    ValidationError
+        On malformed ``k_values``, non-finite demands, a window length
+        exceeding the stream, or a stream/total mismatch.
+    """
+    ks = np.asarray(k_values, dtype=np.int64)
+    if ks.ndim != 1 or ks.size == 0:
+        raise ValidationError("k_values must be a non-empty 1-D sequence")
+    if np.any(ks < 1):
+        raise ValidationError("k_values must be >= 1")
+    if np.any(np.diff(ks) <= 0):
+        raise ValidationError("k_values must be strictly increasing")
+    if total is not None:
+        total = check_integer(total, "total", minimum=1)
+        if ks[-1] > total:
+            raise ValidationError(f"k_values must not exceed trace length {total}")
+    return _streaming_minmax(chunks, ks, total)
+
+
+@instrumented(
+    "staircase.streaming_minmax",
+    attrs=lambda chunks, ks, total: {"grid": int(ks.size), "k_max": int(ks[-1])},
+)
+def _streaming_minmax(
+    chunks: Iterable[Sequence[float]], ks: np.ndarray, total: int | None
+) -> tuple[np.ndarray, np.ndarray]:
+    k_max = int(ks[-1])
+    lo = np.full(ks.size, np.inf)
+    hi = np.full(ks.size, -np.inf)
+    # trailing prefix sums csum[max(0, m - k_max) .. m]; csum[0] = 0.0
+    tail = np.zeros(1)
+    seen = 0
+    for chunk in chunks:
+        arr = np.asarray(chunk, dtype=float)
+        if arr.ndim != 1:
+            raise ValidationError("stream chunks must be 1-D sequences")
+        if arr.size == 0:
+            continue
+        if not np.all(np.isfinite(arr)):
+            raise ValidationError("demands must be finite")
+        # ext[i] = csum[base + i]; seeding with csum[seen] reproduces the
+        # one-shot cumsum's sequential float additions exactly
+        new = np.cumsum(np.concatenate((tail[-1:], arr)))
+        ext = np.concatenate((tail[:-1], new))
+        base = seen - (tail.size - 1)
+        seen += arr.size
+        for i, k in enumerate(ks):
+            if k > seen:
+                break
+            # window endpoints new to this chunk: e in [max(k, prev+1), seen]
+            e0 = max(int(k), seen - arr.size + 1)
+            ends = ext[e0 - base : seen + 1 - base]
+            starts = ext[e0 - int(k) - base : seen + 1 - int(k) - base]
+            diffs = ends - starts
+            lo[i] = min(lo[i], float(diffs.min()))
+            hi[i] = max(hi[i], float(diffs.max()))
+        if ext.size > k_max + 1:
+            ext = ext[-(k_max + 1) :]
+        tail = ext
+    if seen == 0:
+        raise ValidationError("demand stream is empty")
+    if total is not None and seen != total:
+        raise ValidationError(f"stream yielded {seen} events, expected {total}")
+    if k_max > seen:
+        raise ValidationError(f"k_values must not exceed trace length {seen}")
+    return lo, hi
+
+
 def is_non_decreasing(values: Iterable[float]) -> bool:
     """True if the sequence never decreases."""
     arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values, dtype=float)
@@ -129,12 +235,20 @@ def make_k_grid(n: int, *, dense_limit: int = 2048, growth: float = 1.05) -> np.
     Extracting a workload curve at every ``k`` of a long trace is O(n^2); for
     traces beyond *dense_limit* events we evaluate every ``k`` up to the
     limit, then sample geometrically (ratio *growth*) and always include
-    ``n`` itself.  Interpolating between sampled points stays conservative
-    for the upper curve because the true curve is concave-ish in practice and
-    we interpolate linearly between exact values (callers that need hard
-    guarantees between grid points should use the affine-tail extension of
-    :class:`repro.core.workload.WorkloadCurve`, which is conservative by
-    construction).
+    ``n`` itself.
+
+    Conservativeness between sampled ``k``:  *linear* interpolation between
+    exact samples is sound only in special cases — for an upper curve the
+    chord must lie at or above the true curve, which holds exactly where
+    the curve is *convex* between the two samples (upper workload curves
+    are subadditive and typically concave-ish, so the chord usually
+    *under*-estimates and is NOT a valid bound); dually, interpolating a
+    lower curve is sound only where the curve is *concave* there.  For
+    this reason :class:`repro.core.workload.WorkloadCurve` never
+    interpolates: between grid points it steps to the *next* sampled value
+    (upper) or holds the *previous* one (lower), which is conservative for
+    any non-decreasing curve regardless of its shape — a sparse grid can
+    only loosen the bound, never invalidate it.
     """
     n = check_integer(n, "n", minimum=1)
     dense_limit = check_integer(dense_limit, "dense_limit", minimum=1)

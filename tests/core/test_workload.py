@@ -246,3 +246,54 @@ class TestPair:
     def test_from_demand_array_pair(self):
         pair = WorkloadCurvePair.from_demand_array([2.0, 5.0, 3.0])
         assert pair.wcet == 5.0 and pair.bcet == 2.0
+
+
+class TestStreamingExtraction:
+    """from_demand_stream must be bit-identical to from_demand_array."""
+
+    DEMANDS = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0, 5.0, 3.0])
+
+    def _chunks(self, size):
+        for start in range(0, self.DEMANDS.size, size):
+            yield self.DEMANDS[start : start + size]
+
+    @pytest.mark.parametrize("chunk", [1, 3, 4, 10, 100])
+    def test_curve_bit_identical(self, chunk):
+        for kind in ("upper", "lower"):
+            one_shot = WorkloadCurve.from_demand_array(self.DEMANDS, kind)
+            streamed = WorkloadCurve.from_demand_stream(
+                self._chunks(chunk), kind, total=self.DEMANDS.size
+            )
+            assert np.array_equal(streamed.k_values, one_shot.k_values)
+            assert np.array_equal(
+                streamed(streamed.k_values), one_shot(one_shot.k_values)
+            )
+
+    def test_pair_bit_identical(self):
+        one_shot = WorkloadCurvePair.from_demand_array(self.DEMANDS)
+        streamed = WorkloadCurvePair.from_demand_stream(
+            self._chunks(3), total=self.DEMANDS.size
+        )
+        ks = one_shot.upper.k_values
+        assert np.array_equal(streamed.upper(ks), one_shot.upper(ks))
+        assert np.array_equal(streamed.lower(ks), one_shot.lower(ks))
+        assert streamed.wcet == one_shot.wcet
+        assert streamed.bcet == one_shot.bcet
+
+    def test_explicit_k_grid(self):
+        ks = np.array([1, 4, 10], dtype=np.int64)
+        one_shot = WorkloadCurve.from_demand_array(self.DEMANDS, "upper", k_values=ks)
+        streamed = WorkloadCurve.from_demand_stream(
+            self._chunks(4), "upper", k_values=ks
+        )
+        assert np.array_equal(streamed(ks), one_shot(ks))
+
+    def test_needs_grid_or_total(self):
+        with pytest.raises(ValidationError, match="k_values or total"):
+            WorkloadCurve.from_demand_stream(self._chunks(3), "upper")
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(ValidationError):
+            WorkloadCurve.from_demand_stream(
+                iter([[1.0, -2.0]]), "upper", k_values=np.array([1])
+            )

@@ -8,11 +8,13 @@ from hypothesis import strategies as st
 from repro.util.staircase import (
     cumulative_envelope_max,
     cumulative_envelope_min,
+    cumulative_envelope_minmax,
     is_non_decreasing,
     is_strictly_increasing,
     make_k_grid,
     sliding_window_max_sum,
     sliding_window_min_sum,
+    streaming_envelope_minmax,
 )
 from repro.util.validation import ValidationError
 
@@ -103,6 +105,115 @@ class TestMonotoneHelpers:
     def test_short_sequences(self):
         assert is_non_decreasing([])
         assert is_strictly_increasing([5])
+
+
+def _split(arr, cuts):
+    """Split *arr* at the sorted cut indices (duplicates → empty chunks)."""
+    pieces = []
+    prev = 0
+    for c in list(cuts) + [len(arr)]:
+        pieces.append(arr[prev:c])
+        prev = c
+    return pieces
+
+
+class TestStreaming:
+    """The streaming fold must be *bit-identical* to the one-shot kernel:
+    each chunk's cumsum is seeded with the running total, so every prefix
+    sum is the same float the one-shot cumsum computes."""
+
+    def test_matches_oneshot_simple(self):
+        ks = np.array([1, 3, 8], dtype=np.int64)
+        lo, hi = streaming_envelope_minmax(_split(DEMANDS, [3, 5]), ks)
+        lo1, hi1 = cumulative_envelope_minmax(DEMANDS, ks)
+        assert np.array_equal(lo, lo1) and np.array_equal(hi, hi1)
+
+    def test_empty_chunks_skipped(self):
+        ks = np.array([2, 4], dtype=np.int64)
+        chunks = [[], DEMANDS[:4], [], [], DEMANDS[4:], []]
+        lo, hi = streaming_envelope_minmax(chunks, ks)
+        lo1, hi1 = cumulative_envelope_minmax(DEMANDS, ks)
+        assert np.array_equal(lo, lo1) and np.array_equal(hi, hi1)
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=1e6), min_size=1, max_size=120),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bit_identical_under_random_chunking(self, values, data):
+        arr = np.asarray(values)
+        n = arr.size
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(min_value=0, max_value=n), max_size=8)
+            )
+        )
+        n_ks = data.draw(st.integers(min_value=1, max_value=min(n, 6)))
+        ks = np.sort(
+            np.asarray(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=1, max_value=n),
+                        min_size=n_ks,
+                        max_size=n_ks,
+                        unique=True,
+                    )
+                ),
+                dtype=np.int64,
+            )
+        )
+        lo, hi = streaming_envelope_minmax(_split(arr, cuts), ks, total=n)
+        lo1, hi1 = cumulative_envelope_minmax(arr, ks)
+        assert np.array_equal(lo, lo1)
+        assert np.array_equal(hi, hi1)
+
+    def test_window_spanning_many_chunks(self):
+        # k_max wider than any single chunk: windows cross every boundary
+        arr = np.arange(1.0, 41.0)
+        ks = np.array([25, 40], dtype=np.int64)
+        lo, hi = streaming_envelope_minmax(_split(arr, list(range(5, 40, 5))), ks)
+        lo1, hi1 = cumulative_envelope_minmax(arr, ks)
+        assert np.array_equal(lo, lo1) and np.array_equal(hi, hi1)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            streaming_envelope_minmax([], np.array([1]))
+        with pytest.raises(ValidationError, match="empty"):
+            streaming_envelope_minmax([[], []], np.array([1]))
+
+    def test_total_mismatch_rejected(self):
+        with pytest.raises(ValidationError, match="expected"):
+            streaming_envelope_minmax([DEMANDS], np.array([2]), total=5)
+
+    def test_k_exceeding_stream_rejected(self):
+        with pytest.raises(ValidationError, match="exceed"):
+            streaming_envelope_minmax([DEMANDS], np.array([len(DEMANDS) + 1]))
+
+    def test_k_exceeding_total_rejected_upfront(self):
+        # with total declared, the oversized grid is rejected before any
+        # chunk is consumed
+        def exploding():
+            raise AssertionError("stream must not be consumed")
+            yield
+
+        with pytest.raises(ValidationError, match="exceed"):
+            streaming_envelope_minmax(exploding(), np.array([9]), total=8)
+
+    def test_bad_k_values_rejected(self):
+        with pytest.raises(ValidationError):
+            streaming_envelope_minmax([DEMANDS], np.array([2, 1]))
+        with pytest.raises(ValidationError):
+            streaming_envelope_minmax([DEMANDS], np.array([], dtype=np.int64))
+        with pytest.raises(ValidationError):
+            streaming_envelope_minmax([DEMANDS], np.array([0, 1]))
+
+    def test_non_finite_chunk_rejected(self):
+        with pytest.raises(ValidationError, match="finite"):
+            streaming_envelope_minmax([[1.0, np.inf]], np.array([1]))
+
+    def test_two_dimensional_chunk_rejected(self):
+        with pytest.raises(ValidationError, match="1-D"):
+            streaming_envelope_minmax([np.ones((2, 2))], np.array([1]))
 
 
 class TestKGrid:
