@@ -1,0 +1,145 @@
+"""Acceptance gates for segment-budgeted compaction and bisection sweeps.
+
+Two performance claims of the compaction layer are load-bearing enough to
+gate in CI, with measurements merged into ``benchmarks/BENCH_compact.json``:
+
+* a >= 6-stage min-plus convolution chain over general (staircase-ish)
+  service curves must run >= 10x faster with a 64-segment budget than
+  unbudgeted — budgets exist precisely to stop the multiplicative
+  breakpoint growth that drags ever-larger operands through the generic
+  O(n·m) kernel — while staying conservative (pointwise <= the exact
+  result, ``direction="lower"``);
+* the monotone feasibility bisection must agree with a dense frequency
+  scan to 0.1% while spending >= 5x fewer eq. (8) evaluations, counted
+  through the ``frequency.verify_calls`` obs counter.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+import repro.perf as perf
+from repro.analysis.frequency import VERIFY_CALLS_METRIC, FrequencySweepEvaluator
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import periodic_upper
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.obs.metrics import registry
+from repro.perf.batch import convolve_reduce
+
+BENCH_PATH = Path(__file__).parent / "BENCH_compact.json"
+
+STAGES = 6
+SEGMENTS = 110
+BUDGET = 64
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    report = {}
+    if BENCH_PATH.exists():
+        report = json.loads(BENCH_PATH.read_text())
+    report[section] = payload
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _random_general(rng: np.random.Generator, n: int) -> PiecewiseLinearCurve:
+    """A staircase-with-drifts service curve that classifies 'general', so
+    every pairwise convolution takes the generic O(n·m) kernel."""
+    gaps = rng.uniform(0.5, 2.0, n - 1)
+    xs = np.concatenate(([0.0], np.cumsum(gaps)))
+    ss = rng.uniform(0.0, 3.0, n)
+    jumps = rng.uniform(0.0, 2.0, n)
+    jumps[0] = 0.0
+    ys = np.cumsum(np.concatenate(([0.0], np.diff(xs) * ss[:-1] + jumps[1:])))
+    return PiecewiseLinearCurve(xs, ys, ss)
+
+
+def test_budgeted_chain_speedup_gate():
+    """A 64-segment budget must make a 6-stage general-curve convolution
+    chain >= 10x faster than the unbudgeted exact reduction, and the
+    budgeted result must stay a valid (pointwise <=) service bound."""
+    rng = np.random.default_rng(20240406)
+    betas = [_random_general(rng, SEGMENTS) for _ in range(STAGES)]
+    assert all(b.shape == "general" for b in betas)
+
+    perf.configure(enabled=False)  # time the kernels, not the memo cache
+    try:
+        t0 = time.perf_counter()
+        exact = convolve_reduce(betas)
+        exact_seconds = time.perf_counter() - t0
+
+        budgeted_seconds = np.inf
+        for _ in range(2):
+            t0 = time.perf_counter()
+            budgeted = convolve_reduce(
+                betas, max_segments=BUDGET, direction="lower"
+            )
+            budgeted_seconds = min(budgeted_seconds, time.perf_counter() - t0)
+    finally:
+        perf.configure(enabled=True)
+
+    assert budgeted.n_segments <= BUDGET
+    pts = np.linspace(0.0, float(exact.breakpoints[-1]) * 1.5, 4_096)
+    gap = exact(pts) - budgeted(pts)
+    scale = max(1.0, float(np.max(np.abs(exact(pts)))))
+    assert np.all(gap >= -1e-9 * scale), "budgeted chain result above the exact one"
+
+    speedup = exact_seconds / budgeted_seconds
+    _merge_report(
+        "budgeted_chain",
+        {
+            "stages": STAGES,
+            "segments_per_stage": SEGMENTS,
+            "budget": BUDGET,
+            "exact_segments": int(exact.n_segments),
+            "budgeted_segments": int(budgeted.n_segments),
+            "exact_seconds": exact_seconds,
+            "budgeted_seconds": budgeted_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 10.0, f"budgeted chain {speedup:.1f}x below the 10x gate"
+
+
+def test_bisection_vs_dense_eval_count_gate():
+    """The bisection must match a dense scan to 0.1% of F_min while
+    spending >= 5x fewer eq. (8) evaluations (obs-counted)."""
+    rng = np.random.default_rng(7)
+    alpha = periodic_upper(1.0, jitter=3.0, horizon_periods=96)
+    gamma_u = WorkloadCurve.from_demand_array(rng.uniform(1.0, 8.0, 64), "upper")
+    ev = FrequencySweepEvaluator(alpha, gamma_u)
+    buffer_size = 6
+    counter = registry.counter(VERIFY_CALLS_METRIC)
+
+    before = counter.value
+    bisected = ev.bisect(buffer_size, rel_tol=1e-5)
+    bisect_evals = counter.value - before
+
+    # sweep a sane range — [0, 2x the closed-form bound] — with a grid
+    # fine enough (~0.05% steps) that the dense answer is itself within
+    # 0.1% of F_min: the comparison measures search strategies, not grid
+    # quantization (the default demand/min-delta bracket is ~1000x F_min)
+    f_hi = 2.0 * ev.bound_curves(buffer_size).frequency
+    before = counter.value
+    dense = ev.dense(buffer_size, n_grid=4_096, f_hi=f_hi)
+    dense_evals = counter.value - before
+
+    rel_gap = abs(bisected.frequency - dense.frequency) / dense.frequency
+    _merge_report(
+        "bisection_vs_dense",
+        {
+            "buffer_size": buffer_size,
+            "bisect_evals": int(bisect_evals),
+            "dense_evals": int(dense_evals),
+            "eval_ratio": dense_evals / bisect_evals,
+            "bisect_frequency": bisected.frequency,
+            "dense_frequency": dense.frequency,
+            "rel_gap": rel_gap,
+        },
+    )
+    assert rel_gap <= 1e-3, f"bisection {rel_gap:.2%} away from the dense scan"
+    assert dense_evals >= 5 * bisect_evals, (
+        f"bisection spent {bisect_evals} evals vs {dense_evals} dense — "
+        "below the 5x gate"
+    )

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Validate benchmark reports (``benchmarks/BENCH_*.json``).
+
+Every gate that merges numbers into a ``BENCH_*.json`` report promises a
+machine-readable shape: a non-empty JSON object whose values are section
+objects, whose leaves are finite numbers, strings, or booleans.  CI runs
+this after the benchmark gates so a half-written or NaN-poisoned report
+fails loudly instead of silently shipping garbage headline numbers.
+
+``BENCH_compact.json`` additionally carries the acceptance numbers for
+the compaction PR, so its sections are checked key-by-key (chain speedup
+present and >= 1, eval counts positive, relative gap finite).
+
+Usage::
+
+    python scripts/validate_bench.py [--bench-dir benchmarks]
+
+Uses only the standard library.  Exits non-zero on the first violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+#: Required keys per section of BENCH_compact.json — the gates in
+#: benchmarks/test_bench_compact.py write exactly these.
+COMPACT_SECTIONS = {
+    "budgeted_chain": {
+        "stages",
+        "segments_per_stage",
+        "budget",
+        "exact_segments",
+        "budgeted_segments",
+        "exact_seconds",
+        "budgeted_seconds",
+        "speedup",
+    },
+    "bisection_vs_dense": {
+        "buffer_size",
+        "bisect_evals",
+        "dense_evals",
+        "eval_ratio",
+        "bisect_frequency",
+        "dense_frequency",
+        "rel_gap",
+    },
+}
+
+
+def fail(message: str) -> None:
+    sys.exit(f"validate_bench: {message}")
+
+
+def _reject_constant(token: str) -> None:
+    # json.loads would otherwise happily parse NaN/Infinity literals
+    raise ValueError(f"non-finite constant {token!r}")
+
+
+def _check_leaf(path: Path, where: str, value: object) -> None:
+    if isinstance(value, bool) or isinstance(value, str):
+        return
+    if isinstance(value, (int, float)):
+        if not math.isfinite(value):
+            fail(f"{path}: {where}: non-finite number {value!r}")
+        return
+    if isinstance(value, list):
+        for i, item in enumerate(value):
+            _check_leaf(path, f"{where}[{i}]", item)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            _check_leaf(path, f"{where}.{key}", item)
+        return
+    fail(f"{path}: {where}: unsupported leaf type {type(value).__name__}")
+
+
+def validate_report(path: Path) -> int:
+    try:
+        report = json.loads(
+            path.read_text(encoding="utf-8"), parse_constant=_reject_constant
+        )
+    except (json.JSONDecodeError, ValueError) as exc:
+        fail(f"{path}: invalid JSON: {exc}")
+    if not isinstance(report, dict) or not report:
+        fail(f"{path}: report must be a non-empty JSON object")
+    for section, payload in report.items():
+        if not isinstance(payload, dict) or not payload:
+            fail(f"{path}: section {section!r} must be a non-empty object")
+        _check_leaf(path, section, payload)
+    return len(report)
+
+
+def validate_compact(path: Path) -> None:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    for section, required in COMPACT_SECTIONS.items():
+        payload = report.get(section)
+        if payload is None:
+            fail(f"{path}: missing acceptance section {section!r}")
+        missing = required - payload.keys()
+        if missing:
+            fail(f"{path}: {section}: missing keys {sorted(missing)}")
+    chain = report["budgeted_chain"]
+    if chain["speedup"] < 1.0:
+        fail(f"{path}: budgeted chain slower than exact ({chain['speedup']:.2f}x)")
+    if chain["budgeted_segments"] > chain["budget"]:
+        fail(f"{path}: budgeted chain blew its segment budget")
+    bis = report["bisection_vs_dense"]
+    if bis["bisect_evals"] <= 0 or bis["dense_evals"] <= 0:
+        fail(f"{path}: bisection_vs_dense: eval counts must be positive")
+    if bis["rel_gap"] < 0.0:
+        fail(f"{path}: bisection_vs_dense: negative relative gap")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=Path("benchmarks"),
+        help="directory holding BENCH_*.json reports (default: benchmarks)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = sorted(args.bench_dir.glob("BENCH_*.json"))
+    if not reports:
+        fail(f"{args.bench_dir}: no BENCH_*.json reports found")
+    for path in reports:
+        sections = validate_report(path)
+        if path.name == "BENCH_compact.json":
+            validate_compact(path)
+        print(f"{path}: {sections} sections ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

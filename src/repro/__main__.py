@@ -14,6 +14,7 @@ Parallelism and caching (see ``docs/performance.md``)::
     python -m repro all --cache-dir .repro-cache  # persistent kernel cache
     python -m repro sweep --buffers 810,1620,3240 --parallel 4
                                                   # frequency/backlog sweep
+    python -m repro E5 --max-segments 64 --bisect # budgeted + bisection
 
 Observability (see ``docs/observability.md``)::
 
@@ -41,10 +42,36 @@ from repro.obs.tracing import tracer
 LIGHT = ("E1", "E2", "E3")
 
 
-def _accepts_frames(run) -> bool:
-    """True if *run* takes a ``frames`` keyword (harness wrappers are
+def _accepts(run, name: str) -> bool:
+    """True if *run* takes keyword *name* (harness wrappers are
     transparent to :func:`inspect.signature`)."""
-    return "frames" in inspect.signature(run).parameters
+    return name in inspect.signature(run).parameters
+
+
+def _add_compact_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared curve-compaction / bisection options."""
+    parser.add_argument(
+        "--max-segments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="conservatively compact analysis curves to at most N segments "
+        "(bounds stay valid, only pessimism grows; see docs/performance.md)",
+    )
+    parser.add_argument(
+        "--compact-error",
+        type=float,
+        default=None,
+        metavar="E",
+        help="cap the absolute error the compaction may introduce (can be "
+        "combined with --max-segments; the error cap always wins)",
+    )
+    parser.add_argument(
+        "--bisect",
+        action="store_true",
+        help="compute F_gamma_min by monotone feasibility bisection "
+        "(eq. (8)) instead of the closed-form eq. (9) scan",
+    )
 
 
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +173,7 @@ def _experiments_main(argv: list[str]) -> int:
         help="frames per clip for experiments that take a frames parameter "
         "(default: each experiment's own default, typically 72)",
     )
+    _add_compact_arguments(parser)
     _add_runner_arguments(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
@@ -170,9 +198,16 @@ def _experiments_main(argv: list[str]) -> int:
 
     def kwargs_for(exp_id: str) -> dict:
         run = ALL_EXPERIMENTS[exp_id]
-        if args.frames is not None and _accepts_frames(run):
-            return {"frames": args.frames}
-        return {}
+        kwargs: dict = {}
+        if args.frames is not None and _accepts(run, "frames"):
+            kwargs["frames"] = args.frames
+        if args.max_segments is not None and _accepts(run, "max_segments"):
+            kwargs["max_segments"] = args.max_segments
+        if args.compact_error is not None and _accepts(run, "compact_error"):
+            kwargs["compact_error"] = args.compact_error
+        if args.bisect and _accepts(run, "bisect"):
+            kwargs["bisect"] = True
+        return kwargs
 
     failures: list[str] = []
     t0 = time.perf_counter()
@@ -218,6 +253,9 @@ def _experiments_main(argv: list[str]) -> int:
                     "experiments": requested,
                     "parallel": args.parallel,
                     "frames": args.frames,
+                    "max_segments": args.max_segments,
+                    "compact_error": args.compact_error,
+                    "bisect": args.bisect,
                     "seed": args.seed,
                 },
                 wall_time_s=time.perf_counter() - t0,
@@ -287,6 +325,7 @@ def _sweep_main(argv: list[str]) -> int:
         default=0,
         help="resubmissions of failed/timed-out points (default: 0)",
     )
+    _add_compact_arguments(parser)
     _add_runner_arguments(parser)
     _add_obs_arguments(parser)
     args = parser.parse_args(argv)
@@ -318,6 +357,9 @@ def _sweep_main(argv: list[str]) -> int:
                 "dense_limit": args.dense_limit,
                 "growth": args.growth,
                 "stream_chunk": args.stream_chunk,
+                "max_segments": args.max_segments,
+                "compact_error": args.compact_error,
+                "bisect": args.bisect,
             },
             max_workers=args.parallel,
             cache_dir=args.cache_dir,
@@ -368,6 +410,9 @@ def _sweep_main(argv: list[str]) -> int:
                 "dense_limit": args.dense_limit,
                 "growth": args.growth,
                 "stream_chunk": args.stream_chunk,
+                "max_segments": args.max_segments,
+                "compact_error": args.compact_error,
+                "bisect": args.bisect,
                 "parallel": args.parallel,
                 "seed": args.seed,
             },

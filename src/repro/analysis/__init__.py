@@ -17,7 +17,10 @@ from repro.analysis.backlog import (
 )
 from repro.analysis.frequency import (
     FrequencyBound,
+    FrequencySweepEvaluator,
+    minimum_frequency_bisect,
     minimum_frequency_curves,
+    minimum_frequency_dense,
     minimum_frequency_wcet,
     verify_service_constraint,
 )
@@ -40,7 +43,10 @@ __all__ = [
     "backlog_bound_events",
     "candidate_deltas",
     "FrequencyBound",
+    "FrequencySweepEvaluator",
+    "minimum_frequency_bisect",
     "minimum_frequency_curves",
+    "minimum_frequency_dense",
     "minimum_frequency_wcet",
     "verify_service_constraint",
     "BufferBound",

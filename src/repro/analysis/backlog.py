@@ -77,12 +77,21 @@ def backlog_bound_events(
     alpha_events: PiecewiseLinearCurve,
     beta: PiecewiseLinearCurve,
     gamma_u: WorkloadCurve,
+    *,
+    deltas: np.ndarray | None = None,
 ) -> float:
     """Eq. (7): maximum number of events backlogged in front of the PE.
 
     Raises :class:`~repro.curves.minplus.UnboundedCurveError` if the
     long-run demand rate (events/s × cycles/event) exceeds the long-run
     service rate.
+
+    *deltas* optionally supplies a precomputed candidate grid: a
+    frequency sweep probes the same arrival curve against many
+    zero-latency service curves ``F·Δ``, whose only breakpoint is 0, so
+    ``candidate_deltas(alpha, β_F)`` is the same array for every ``F``
+    and can be hoisted out of the sweep loop (it must cover
+    :func:`candidate_deltas` of the actual pair to stay exact).
     """
     if gamma_u.kind != "upper":
         raise ValidationError("backlog bound needs an upper workload curve")
@@ -92,7 +101,8 @@ def backlog_bound_events(
             f"event backlog unbounded: demand rate {demand_rate:g} cycles/s "
             f"exceeds service rate {beta.final_slope:g}"
         )
-    deltas = candidate_deltas(alpha_events, beta)
+    if deltas is None:
+        deltas = candidate_deltas(alpha_events, beta)
     arrived, served_cycles = evaluate_at_many([alpha_events, beta], deltas)
     served_events = gamma_u.pseudo_inverse(served_cycles)
     return float(np.max(arrived - served_events))

@@ -27,7 +27,8 @@ from repro.analysis.backlog import backlog_bound_events
 from repro.analysis.conversion import arrival_events_to_cycles
 from repro.core.workload import WorkloadCurve
 from repro.curves.bounds import delay_bound as _horizontal
-from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.compact import compact_upper
+from repro.curves.curve import PiecewiseLinearCurve, _stamp
 from repro.obs.tracing import tracer
 from repro.perf.batch import convolve_reduce
 from repro.util.validation import ValidationError
@@ -106,9 +107,24 @@ class StreamingChain:
     >>> chain = StreamingChain([ProcessingNode("PE1", beta1, g1),
     ...                         ProcessingNode("PE2", beta2, g2)])
     >>> report = chain.analyze(alpha_events)
+
+    *max_segments*/*max_error* optionally bound the curves the analysis
+    iterates on (see :mod:`repro.curves.compact`): the arrival curve
+    propagated hop to hop is compacted **up** after each node (a valid,
+    slightly pessimistic arrival bound) and the tandem service
+    convolution runs with a **lower**-direction budget (a valid, slightly
+    pessimistic service bound), so per-hop curve growth — and with it the
+    per-hop kernel cost — stays O(budget) over arbitrarily long chains.
+    All reported bounds remain sound; they can only grow.
     """
 
-    def __init__(self, nodes: list[ProcessingNode]):
+    def __init__(
+        self,
+        nodes: list[ProcessingNode],
+        *,
+        max_segments: int | None = None,
+        max_error: float | None = None,
+    ):
         nodes = list(nodes)
         if not nodes:
             raise ValidationError("chain needs at least one node")
@@ -116,6 +132,10 @@ class StreamingChain:
         if len(set(names)) != len(names):
             raise ValidationError("node names must be unique")
         self.nodes = nodes
+        if max_segments is not None:
+            max_segments = int(max_segments)
+        self.max_segments = max_segments
+        self.max_error = max_error
 
     def analyze(self, alpha_events: PiecewiseLinearCurve) -> ChainReport:
         """Propagate the event stream through the chain.
@@ -140,6 +160,14 @@ class StreamingChain:
                     backlog = backlog_bound_events(alpha, node.service, node.gamma_u)
                     delay = _horizontal(cycles_in, node.service)
                     out_events = _shift_time(alpha, delay)
+                    if self.max_segments is not None or self.max_error is not None:
+                        # compacting the propagated arrival curve *up* keeps
+                        # every downstream bound valid (only pessimism grows)
+                        out_events = compact_upper(
+                            out_events,
+                            max_segments=self.max_segments,
+                            max_error=self.max_error,
+                        ).curve
                     utilization = cycles_in.final_slope / node.service.final_slope
                 reports.append(
                     NodeReport(
@@ -183,7 +211,15 @@ class StreamingChain:
             betas.append(node.service * scale if scale != 1.0 else node.service)
         # min-plus convolution is associative: the balanced convolve_reduce
         # batches each tree level and shares the memoized pair kernels
-        combined = convolve_reduce(betas)
+        if self.max_segments is not None or self.max_error is not None:
+            combined = convolve_reduce(
+                betas,
+                max_segments=self.max_segments,
+                max_error=self.max_error,
+                direction="lower",
+            )
+        else:
+            combined = convolve_reduce(betas)
         try:
             tandem = _horizontal(cycles_in, combined)
         except Exception:
@@ -207,9 +243,18 @@ def _shift_time(curve: PiecewiseLinearCurve, shift: float) -> PiecewiseLinearCur
     if shift == 0.0:
         return curve
     xs_old = curve.breakpoints
-    keep = xs_old > shift
-    xs = np.concatenate(([0.0], xs_old[keep] - shift))
-    ys = curve(xs + shift)
-    idx = np.searchsorted(xs_old, xs + shift, side="right") - 1
-    slopes = curve.slopes[idx]
-    return PiecewiseLinearCurve(xs, ys, slopes).simplified()
+    kept = np.flatnonzero(xs_old > shift)
+    # reuse the kept breakpoints' exact values and slopes: re-evaluating at
+    # (x − shift) + shift rounds across breakpoints and can corrupt the
+    # assigned slopes (including the asymptotic one)
+    xs = np.concatenate(([0.0], xs_old[kept] - shift))
+    ys = np.concatenate(([float(curve(shift))], curve.values_at_breakpoints[kept]))
+    first = np.searchsorted(xs_old, shift, side="right") - 1
+    slopes = curve.slopes[np.concatenate(([first], kept))]
+    out = PiecewiseLinearCurve(xs, ys, slopes).simplified()
+    if curve.is_concave:
+        # a left-shifted concave curve stays concave (the cut-off prefix
+        # only enlarges the burst); stamping keeps budgeted chains on the
+        # concave fast paths
+        return _stamp(out, "concave")
+    return out

@@ -11,6 +11,7 @@ subpackage is a self-contained implementation of that substrate:
 * :mod:`~repro.curves.service` — full-processor, rate-latency, TDMA and
   fixed-priority remaining service;
 * :mod:`~repro.curves.minplus` — min-plus convolution / deconvolution;
+* :mod:`~repro.curves.compact` — conservative segment-budgeted compaction;
 * :mod:`~repro.curves.bounds` — backlog (eq. (6)), delay and output bounds;
 * :mod:`~repro.curves.shaper` — greedy shapers.
 """
@@ -34,6 +35,7 @@ from repro.curves.minplus import (
     self_convolution_fixpoint,
     UnboundedCurveError,
 )
+from repro.curves.compact import CompactionResult, compact_lower, compact_upper
 from repro.curves.bounds import backlog_bound, delay_bound, output_arrival_curve, is_stable
 from repro.curves.shaper import GreedyShaper
 from repro.curves.event_models import (
@@ -65,6 +67,9 @@ __all__ = [
     "deconvolve_at",
     "self_convolution_fixpoint",
     "UnboundedCurveError",
+    "CompactionResult",
+    "compact_upper",
+    "compact_lower",
     "backlog_bound",
     "delay_bound",
     "output_arrival_curve",

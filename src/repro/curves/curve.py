@@ -230,18 +230,38 @@ class PiecewiseLinearCurve:
         xs = np.union1d(self._x, other._x)
         ys = self(xs) + other(xs)
         ss = self._slope_at(xs) + other._slope_at(xs)
-        return PiecewiseLinearCurve(xs, ys, ss).simplified()
+        out = PiecewiseLinearCurve(xs, ys, ss).simplified()
+        # the sum of curves of one structural class stays in that class
+        # (affine + affine is affine); mixed sums prove nothing
+        if self.is_convex and other.is_convex:
+            shape = "affine" if self.shape == other.shape == "affine" else "convex"
+            return _stamp(out, shape)
+        if self.is_concave and other.is_concave:
+            return _stamp(out, "concave")
+        return out
 
     def __mul__(self, factor: float) -> "PiecewiseLinearCurve":
         factor = check_positive(factor, "factor")
-        return PiecewiseLinearCurve(self._x, self._y * factor, self._s * factor)
+        out = PiecewiseLinearCurve(self._x, self._y * factor, self._s * factor)
+        # classify the *original* arrays and carry the verdict over:
+        # positive scaling preserves the structural class, while
+        # re-classifying the scaled arrays could spuriously fail the
+        # exact-equality continuity check on rounded products
+        out._shape = self.shape
+        return out
 
     __rmul__ = __mul__
 
     def shift_up(self, amount: float) -> "PiecewiseLinearCurve":
         """Curve raised by a constant ``amount >= 0``."""
         amount = check_non_negative(amount, "amount")
-        return PiecewiseLinearCurve(self._x, self._y + amount, self._s)
+        if amount == 0.0:
+            return self
+        out = PiecewiseLinearCurve(self._x, self._y + amount, self._s)
+        if self.is_concave:
+            # raising a concave/affine curve only grows the burst
+            return _stamp(out, "concave")
+        return out
 
     def shift_right(self, amount: float) -> "PiecewiseLinearCurve":
         """Curve delayed by ``amount >= 0``: ``g(Δ) = f(max(0, Δ − amount))``
@@ -253,15 +273,28 @@ class PiecewiseLinearCurve:
         xs = np.concatenate(([0.0], self._x + amount))
         ys = np.concatenate(([self._y[0]], self._y))
         ss = np.concatenate(([0.0], self._s))
-        return PiecewiseLinearCurve(xs, ys, ss).simplified()
+        out = PiecewiseLinearCurve(xs, ys, ss).simplified()
+        if self.is_convex:
+            # prepending the zero-slope latency segment keeps the slopes
+            # sorted and the origin at 0 — rate-latency stays convex
+            return _stamp(out, "convex")
+        return out
 
     def maximum(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
         """Exact pointwise maximum."""
-        return self._extremum(other, np.maximum, pick_max=True)
+        out = self._extremum(other, np.maximum, pick_max=True)
+        if self.is_convex and other.is_convex:
+            shape = "affine" if self.shape == other.shape == "affine" else "convex"
+            return _stamp(out, shape)
+        return out
 
     def minimum(self, other: "PiecewiseLinearCurve") -> "PiecewiseLinearCurve":
         """Exact pointwise minimum."""
-        return self._extremum(other, np.minimum, pick_max=False)
+        out = self._extremum(other, np.minimum, pick_max=False)
+        if self.is_concave and other.is_concave:
+            shape = "affine" if self.shape == other.shape == "affine" else "concave"
+            return _stamp(out, shape)
+        return out
 
     def _slope_at(self, deltas: np.ndarray) -> np.ndarray:
         idx = np.searchsorted(self._x, deltas, side="right") - 1
@@ -320,8 +353,14 @@ class PiecewiseLinearCurve:
             ):
                 continue
             keep.append(i)
+        if len(keep) == self._x.size:
+            return self
         idx = np.array(keep)
-        return PiecewiseLinearCurve(self._x[idx], self._y[idx], self._s[idx])
+        out = PiecewiseLinearCurve(self._x[idx], self._y[idx], self._s[idx])
+        # merging collinear segments does not change the function, so a
+        # classification already computed for the source stays valid
+        out._shape = self._shape
+        return out
 
     # -- comparison --------------------------------------------------------------------
     def dominates(self, other: "PiecewiseLinearCurve") -> bool:
@@ -377,6 +416,20 @@ class PiecewiseLinearCurve:
             f"PiecewiseLinearCurve(n_segments={self.n_segments}, "
             f"f(0)={self._y[0]:g}, final_slope={self.final_slope:g})"
         )
+
+
+def _stamp(out: PiecewiseLinearCurve, shape: str) -> PiecewiseLinearCurve:
+    """Attach a structure classification proved by the construction.
+
+    Mirrors :func:`repro.curves.minplus._restamp`: the lazy classifier
+    checks interior continuity with exact float equality, which rounding in
+    a curve operation can defeat; a construction-proved verdict overrides
+    an accidental "general", while a sharper computed verdict ("affine")
+    is kept.
+    """
+    if out.shape == "general":
+        out._shape = shape
+    return out
 
 
 def _segment_crossing(

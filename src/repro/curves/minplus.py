@@ -294,7 +294,47 @@ def _configuration_lines_convolve(
     return np.concatenate(vas), np.concatenate(sls)
 
 
-def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+def _budget_compactors(
+    direction: str | None, max_segments: int | None, max_error: float | None
+):
+    """Resolve the (operand, result) compactors of a budgeted operator.
+
+    Returns ``None`` when no budget is requested.  *direction* states what
+    the **result** is used as: ``"upper"`` rounds it up (arrival/workload
+    curves), ``"lower"`` rounds it down (service curves).  The import is
+    deferred — :mod:`repro.curves.compact` builds on this module.
+    """
+    if max_segments is None and max_error is None:
+        if direction is not None:
+            raise ValidationError(
+                "direction is only meaningful with max_segments or max_error"
+            )
+        return None
+    if direction not in ("upper", "lower"):
+        raise ValidationError(
+            "a budgeted min-plus operator needs direction='upper' or 'lower'"
+        )
+    from repro.curves.compact import compact_lower, compact_upper
+
+    same = compact_upper if direction == "upper" else compact_lower
+    other = compact_lower if direction == "upper" else compact_upper
+
+    def run(compactor, curve):
+        return compactor(
+            curve, max_segments=max_segments, max_error=max_error
+        ).curve
+
+    return same, other, run
+
+
+def convolve(
+    f: PiecewiseLinearCurve,
+    g: PiecewiseLinearCurve,
+    *,
+    max_segments: int | None = None,
+    max_error: float | None = None,
+    direction: str | None = None,
+) -> PiecewiseLinearCurve:
     """Min-plus convolution ``f ⊗ g`` as a new PWL curve (exact).
 
     Dispatches on the operands' cached structure classification
@@ -305,7 +345,20 @@ def convolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinea
     jumps prefer :func:`convolve_at` on the Δ values you need.  Results
     are memoized by operand content digest plus a structure tag (see
     :mod:`repro.perf.cache`).
+
+    With a segment/error budget (``max_segments``/``max_error``) and a
+    *direction*, the operands and the result are conservatively compacted
+    (:mod:`repro.curves.compact`) so iterated chains stay O(budget):
+    convolution is monotone in both operands, so compacting everything in
+    the result's direction keeps the budgeted result a valid bound of the
+    exact one.  Each compaction and the inner exact convolution are
+    memoized separately (the compaction keys carry the budgets).
     """
+    budget = _budget_compactors(direction, max_segments, max_error)
+    if budget is not None:
+        same, _, run = budget
+        out = convolve(run(same, f), run(same, g))
+        return run(same, out)
     key = (
         "minplus.convolve",
         f.shape + "*" + g.shape,
@@ -399,7 +452,9 @@ def _convolve_concave(
 def _convolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)
-    grid = np.unique(np.add.outer(fa.x, ga.x).ravel())  # contains 0 (= x_f0 + x_g0)
+    grid = _dedupe_grid(
+        np.unique(np.add.outer(fa.x, ga.x).ravel())
+    )  # contains 0 (= x_f0 + x_g0)
     xs: list[float] = []
     ys: list[float] = []
     ss: list[float] = []
@@ -461,7 +516,14 @@ def _configuration_lines_deconvolve(
     return np.concatenate(vas), np.concatenate(sls)
 
 
-def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
+def deconvolve(
+    f: PiecewiseLinearCurve,
+    g: PiecewiseLinearCurve,
+    *,
+    max_segments: int | None = None,
+    max_error: float | None = None,
+    direction: str | None = None,
+) -> PiecewiseLinearCurve:
     """Min-plus deconvolution ``f ⊘ g`` as a new PWL curve (exact up to
     left-limit epsilon probes at jumps).
 
@@ -472,7 +534,18 @@ def deconvolve(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLin
     construction (:func:`deconvolve_generic`).  Raises
     :class:`UnboundedCurveError` when the result is infinite.  Results are
     memoized by operand content digest plus a structure tag.
+
+    With a budget and a *direction* the operands are compacted before and
+    the result after, like :func:`convolve` — but deconvolution is
+    monotone *decreasing* in ``g``, so an upper-direction budget compacts
+    ``f`` up and ``g`` **down** (and vice versa).  Both compactions
+    preserve the asymptotic slopes, so the divergence check is unchanged.
     """
+    budget = _budget_compactors(direction, max_segments, max_error)
+    if budget is not None:
+        same, other, run = budget
+        out = deconvolve(run(same, f), run(other, g))
+        return run(same, out)
     if f.final_slope > g.final_slope + 1e-12:
         raise UnboundedCurveError(
             f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
@@ -572,7 +645,7 @@ def _deconvolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> Piecew
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)
     diffs = np.unique(np.subtract.outer(fa.x, ga.x).ravel())
-    grid = diffs[diffs >= 0.0]
+    grid = _dedupe_grid(diffs[diffs >= 0.0])
     if grid.size == 0 or grid[0] != 0.0:
         grid = np.concatenate(([0.0], grid))
     xs: list[float] = []
@@ -593,6 +666,24 @@ def _deconvolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> Piecew
             ss.append(max(slope, 0.0))
     ss[-1] = max(f.final_slope, 0.0)
     return _monotone_pwl(xs, ys, ss)
+
+
+def _dedupe_grid(grid: np.ndarray) -> np.ndarray:
+    """Collapse near-duplicate cell boundaries of an outer-sum grid.
+
+    Breakpoint sums/differences that coincide mathematically can differ by
+    a few ulps in float arithmetic, leaving sliver cells (width ~1e-16)
+    whose midpoint configuration selection is numerically meaningless —
+    the emitted envelope piece can be arbitrarily wrong.  Such cells carry
+    no information (the function is a point there), so boundaries closer
+    than 1e-12 relative are merged into one.
+    """
+    if grid.size <= 1:
+        return grid
+    keep = np.concatenate(
+        ([True], np.diff(grid) > 1e-12 * np.maximum(1.0, np.abs(grid[1:])))
+    )
+    return grid[keep]
 
 
 def _monotone_pwl(xs: list[float], ys: list[float], ss: list[float]) -> PiecewiseLinearCurve:

@@ -45,6 +45,7 @@ __all__ = [
     "ExperimentResult",
     "CaseStudyContext",
     "case_study_context",
+    "sweep_frequency_evaluator",
     "harnessed",
     "run_experiment",
     "BUFFER_ONE_FRAME",
@@ -302,3 +303,57 @@ def case_study_context(
     _CONTEXT_CACHE[key] = ctx
     obs.record_input("case_study_context", ctx.input_digest)
     return ctx
+
+
+_EVALUATOR_CACHE: dict[tuple, "FrequencySweepEvaluator"] = {}
+
+
+def sweep_frequency_evaluator(
+    *,
+    frames: int = 72,
+    dense_limit: int = 4096,
+    growth: float = 1.015,
+    stream_chunk: int | None = None,
+    max_segments: int | None = None,
+    compact_error: float | None = None,
+):
+    """Warm-started frequency evaluator over the cached case-study context.
+
+    Returns the worker's cached
+    :class:`~repro.analysis.frequency.FrequencySweepEvaluator` for this
+    parameter combination: the candidate window grid, the optional
+    conservative arrival compaction (*max_segments*/*compact_error* — see
+    :func:`repro.curves.compact.compact_upper`), and the per-buffer
+    ``γ^u`` demand tables are computed once and shared by every sweep
+    point the worker evaluates.  Without compaction knobs the evaluator
+    reproduces the exact per-point computation bit-identically.
+    """
+    from repro.analysis.frequency import FrequencySweepEvaluator
+
+    key = (frames, dense_limit, growth, stream_chunk, max_segments, compact_error)
+    evaluator = _EVALUATOR_CACHE.get(key)
+    if evaluator is None:
+        ctx = case_study_context(
+            frames=frames,
+            dense_limit=dense_limit,
+            growth=growth,
+            stream_chunk=stream_chunk,
+        )
+        evaluator = FrequencySweepEvaluator(
+            ctx.alpha,
+            ctx.gamma_u,
+            wcet=ctx.wcet,
+            max_segments=max_segments,
+            max_error=compact_error,
+        )
+        _EVALUATOR_CACHE[key] = evaluator
+    else:
+        # re-record the context input so manifests of cache-hit points
+        # still carry the clip-trace digest
+        case_study_context(
+            frames=frames,
+            dense_limit=dense_limit,
+            growth=growth,
+            stream_chunk=stream_chunk,
+        )
+    return evaluator

@@ -24,20 +24,23 @@ _Pair = tuple[PiecewiseLinearCurve, PiecewiseLinearCurve]
 
 
 @instrumented("batch.convolve_many")
-def convolve_many(pairs: Sequence[_Pair]) -> list[PiecewiseLinearCurve]:
+def convolve_many(pairs: Sequence[_Pair], **budget) -> list[PiecewiseLinearCurve]:
     """Min-plus convolution of every ``(f, g)`` pair.
 
     Each pair routes through the memoized :func:`repro.curves.minplus
     .convolve`, so repeated pairs — common when a sweep perturbs only one
-    operand — cost one construction.
+    operand — cost one construction.  Budget keywords
+    (``max_segments``/``max_error``/``direction``) are forwarded.
     """
-    return [convolve(f, g) for f, g in pairs]
+    return [convolve(f, g, **budget) for f, g in pairs]
 
 
 @instrumented("batch.deconvolve_many")
-def deconvolve_many(pairs: Sequence[_Pair]) -> list[PiecewiseLinearCurve]:
-    """Min-plus deconvolution of every ``(f, g)`` pair (memoized per pair)."""
-    return [deconvolve(f, g) for f, g in pairs]
+def deconvolve_many(pairs: Sequence[_Pair], **budget) -> list[PiecewiseLinearCurve]:
+    """Min-plus deconvolution of every ``(f, g)`` pair (memoized per pair);
+    budget keywords are forwarded to :func:`repro.curves.minplus
+    .deconvolve`."""
+    return [deconvolve(f, g, **budget) for f, g in pairs]
 
 
 @instrumented("batch.evaluate_at_many")
@@ -64,7 +67,13 @@ def evaluate_at_many(
     return out
 
 
-def convolve_reduce(curves: Iterable[PiecewiseLinearCurve]) -> PiecewiseLinearCurve:
+def convolve_reduce(
+    curves: Iterable[PiecewiseLinearCurve],
+    *,
+    max_segments: int | None = None,
+    max_error: float | None = None,
+    direction: str | None = None,
+) -> PiecewiseLinearCurve:
     """Convolve a whole sequence, ``f₁ ⊗ f₂ ⊗ … ⊗ fₙ``, structure-aware.
 
     Min-plus convolution is associative *and commutative*, so the operands
@@ -77,7 +86,20 @@ def convolve_reduce(curves: Iterable[PiecewiseLinearCurve]) -> PiecewiseLinearCu
     group results and any unstructured operands folded by a balanced
     pairwise tree — the tree shape keeps intermediate curves small and
     lets :func:`convolve_many` batch each level through the kernel cache.
+
+    With a segment/error budget plus a *direction* every pairwise
+    convolution is budgeted (see :func:`repro.curves.minplus.convolve`),
+    so intermediates stay O(budget) no matter how long the chain is; the
+    direction-aware compactions preserve each structure group's class, so
+    budgeted reductions never fall off the fast paths.
     """
+    budget: dict = {}
+    if max_segments is not None or max_error is not None or direction is not None:
+        budget = {
+            "max_segments": max_segments,
+            "max_error": max_error,
+            "direction": direction,
+        }
     level = list(curves)
     if not level:
         raise ValidationError("convolve_reduce needs at least one curve")
@@ -86,14 +108,16 @@ def convolve_reduce(curves: Iterable[PiecewiseLinearCurve]) -> PiecewiseLinearCu
     convex = [c for c in level if c.is_convex]
     concave = [c for c in level if c.is_concave and not c.is_convex]
     general = [c for c in level if not (c.is_convex or c.is_concave)]
-    reduced = [_tree_reduce(group) for group in (convex, concave) if group]
-    return _tree_reduce(reduced + general)
+    reduced = [_tree_reduce(group, budget) for group in (convex, concave) if group]
+    return _tree_reduce(reduced + general, budget)
 
 
-def _tree_reduce(level: list[PiecewiseLinearCurve]) -> PiecewiseLinearCurve:
+def _tree_reduce(
+    level: list[PiecewiseLinearCurve], budget: dict | None = None
+) -> PiecewiseLinearCurve:
     while len(level) > 1:
         pairs = list(zip(level[0::2], level[1::2]))
-        reduced = convolve_many(pairs)
+        reduced = convolve_many(pairs, **(budget or {}))
         if len(level) % 2:
             reduced.append(level[-1])
         level = reduced

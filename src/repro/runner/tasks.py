@@ -46,6 +46,9 @@ def frequency_backlog_point(
     dense_limit: int = 4096,
     growth: float = 1.015,
     stream_chunk: int | None = None,
+    max_segments: int | None = None,
+    compact_error: float | None = None,
+    bisect: bool = False,
 ):
     """One sweep point: both frequency bounds and the event backlog at
     ``F^γ_min`` for a given FIFO *buffer_size*.
@@ -56,15 +59,25 @@ def frequency_backlog_point(
     eq. (9)/(10) and the eq. (7) backlog bound at the minimum frequency.
     *stream_chunk* feeds the clip traces to the extraction in chunks of
     that many events (bounded per-worker memory, identical results).
-    Harnessed: the returned result carries a ``repro.run-manifest/1``.
+
+    With the default knobs the point is computed exactly, byte-identical
+    to previous releases.  *max_segments*/*compact_error* compact the
+    arrival curve conservatively before analysis (see
+    :mod:`repro.curves.compact`; bounds can only become more
+    pessimistic), and *bisect* replaces the closed-form eq. (9) scan with
+    the monotone feasibility bisection of
+    :meth:`repro.analysis.frequency.FrequencySweepEvaluator.bisect`.
+    All three ride the worker-cached
+    :func:`~repro.experiments.common.sweep_frequency_evaluator`, so the
+    candidate grid and the compacted operands are shared by every point
+    the worker evaluates.  Harnessed: the returned result carries a
+    ``repro.run-manifest/1``.
     """
-    from repro.analysis.backlog import backlog_bound_events
-    from repro.analysis.frequency import (
-        minimum_frequency_curves,
-        minimum_frequency_wcet,
+    from repro.experiments.common import (
+        ExperimentResult,
+        harnessed,
+        sweep_frequency_evaluator,
     )
-    from repro.curves.service import rate_latency
-    from repro.experiments.common import ExperimentResult, case_study_context, harnessed
 
     @harnessed
     def _point(
@@ -74,18 +87,25 @@ def frequency_backlog_point(
         dense_limit: int,
         growth: float,
         stream_chunk: int | None,
+        max_segments: int | None,
+        compact_error: float | None,
+        bisect: bool,
     ) -> ExperimentResult:
         """Inner harnessed run so the manifest captures the point params."""
-        ctx = case_study_context(
+        evaluator = sweep_frequency_evaluator(
             frames=frames,
             dense_limit=dense_limit,
             growth=growth,
             stream_chunk=stream_chunk,
+            max_segments=max_segments,
+            compact_error=compact_error,
         )
-        f_gamma = minimum_frequency_curves(ctx.alpha, ctx.gamma_u, buffer_size)
-        f_wcet = minimum_frequency_wcet(ctx.alpha, ctx.wcet, buffer_size)
-        beta = rate_latency(f_gamma.frequency * (1.0 + 1e-6), 0.0)
-        backlog_events = backlog_bound_events(ctx.alpha, beta, ctx.gamma_u)
+        if bisect:
+            f_gamma = evaluator.bisect(buffer_size)
+        else:
+            f_gamma = evaluator.bound_curves(buffer_size)
+        f_wcet = evaluator.bound_wcet(buffer_size)
+        backlog_events = evaluator.backlog_events(f_gamma.frequency * (1.0 + 1e-6))
         savings = f_gamma.savings_over(f_wcet)
         report = (
             f"b = {buffer_size} macroblocks\n"
@@ -95,18 +115,24 @@ def frequency_backlog_point(
             f"event backlog at F_gamma: {backlog_events:.1f} "
             f"(cap {buffer_size})"
         )
+        data = {
+            "buffer_size": buffer_size,
+            "f_gamma_hz": f_gamma.frequency,
+            "f_wcet_hz": f_wcet.frequency,
+            "savings": savings,
+            "backlog_events": backlog_events,
+        }
+        if f_gamma.method != "workload-curves":
+            data["f_gamma_method"] = f_gamma.method
+        if evaluator.compaction is not None:
+            data["compaction_abs_error"] = evaluator.compaction.max_abs_error
+            data["compaction_segments"] = evaluator.compaction.output_segments
         return ExperimentResult(
             experiment_id=f"SWEEP-b{buffer_size}",
             title=f"Frequency/backlog sweep point (b={buffer_size})",
             paper_reference="Equations (7), (9), (10)",
             report=report,
-            data={
-                "buffer_size": buffer_size,
-                "f_gamma_hz": f_gamma.frequency,
-                "f_wcet_hz": f_wcet.frequency,
-                "savings": savings,
-                "backlog_events": backlog_events,
-            },
+            data=data,
         )
 
     return _point(
@@ -115,6 +141,9 @@ def frequency_backlog_point(
         dense_limit=dense_limit,
         growth=growth,
         stream_chunk=stream_chunk,
+        max_segments=max_segments,
+        compact_error=compact_error,
+        bisect=bisect,
     )
 
 

@@ -1,0 +1,199 @@
+"""Property tests for conservative curve compaction.
+
+The contract under test is three-fold and machine-checked on dense probe
+grids: (a) direction — ``compact_upper`` never dips below the input,
+``compact_lower`` never rises above it; (b) certification — the reported
+``max_abs_error`` is a true bound on the deviation everywhere, including
+left limits at jumps, and a ``max_error`` budget is a hard cap; (c)
+structure — budgets are met, shapes survive, already-compact inputs come
+back as the *same object*, and staircase breakpoints stay a subset of the
+original's (the soundness condition for the eq. (9) candidate windows).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.curves.compact import compact_lower, compact_upper
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.curves.minplus import convolve, deconvolve
+
+from tests.curves.test_minplus_structure import (
+    concave_curves,
+    convex_curves,
+    jumpy_curves,
+)
+
+#: Conservativeness slack: the builders reuse exact original slopes on
+#: untouched segments but chord/envelope arithmetic can round by an ulp.
+TOL = 1e-9
+
+budgets = st.integers(min_value=2, max_value=8)
+any_curves = st.one_of(
+    convex_curves(max_segments=12),
+    concave_curves(max_segments=12),
+    jumpy_curves(max_segments=12),
+)
+
+
+def _probes(*curves):
+    """Breakpoints of every curve, midpoints, left-limit probes, a tail."""
+    pts = np.unique(np.concatenate([c.breakpoints for c in curves]))
+    mids = (pts[:-1] + pts[1:]) / 2.0 if pts.size > 1 else np.empty(0)
+    eps = 1e-9 * np.maximum(1.0, np.abs(pts))
+    last = float(pts[-1])
+    tail = np.linspace(last + 0.5, 2.0 * last + 8.0, 12)
+    grid = np.concatenate((pts, mids, pts - eps, tail))
+    return np.unique(grid[grid >= 0.0])
+
+
+def _scale(c: PiecewiseLinearCurve) -> float:
+    return max(1.0, float(np.max(np.abs(c.values_at_breakpoints))))
+
+
+class TestConservative:
+    @given(any_curves, budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_upper_dominates_input(self, f, budget):
+        res = compact_upper(f, max_segments=budget)
+        pts = _probes(f, res.curve)
+        assert np.all(res.curve(pts) - f(pts) >= -TOL * _scale(f))
+
+    @given(any_curves, budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_lower_dominated_by_input(self, f, budget):
+        res = compact_lower(f, max_segments=budget)
+        pts = _probes(f, res.curve)
+        assert np.all(f(pts) - res.curve(pts) >= -TOL * _scale(f))
+
+
+class TestCertifiedError:
+    @given(any_curves, budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_abs_error_bound_holds_on_dense_grid(self, f, budget):
+        for res in (
+            compact_upper(f, max_segments=budget),
+            compact_lower(f, max_segments=budget),
+        ):
+            pts = _probes(f, res.curve)
+            dev = np.max(np.abs(res.curve(pts) - f(pts)))
+            assert dev <= res.max_abs_error + TOL * _scale(f)
+
+    @given(any_curves, st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=120, deadline=None)
+    def test_max_error_is_a_hard_cap(self, f, cap):
+        for compact in (compact_upper, compact_lower):
+            res = compact(f, max_error=cap)
+            assert res.max_abs_error <= cap + TOL * _scale(f)
+
+    @given(any_curves, budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_error_budget_composes_with_segment_budget(self, f, budget):
+        # with both budgets the error cap wins: the curve may stay larger
+        # than the segment target, but never deviates past the cap
+        res = compact_upper(f, max_segments=budget, max_error=0.5)
+        assert res.max_abs_error <= 0.5 + TOL * _scale(f)
+
+
+class TestStructure:
+    @given(any_curves, budgets)
+    @settings(max_examples=120, deadline=None)
+    def test_segment_budget_met(self, f, budget):
+        # compact_upper pins the span at 0 on general curves (f(0) must
+        # survive), so its floor is 3 segments rather than 2
+        res = compact_upper(f, max_segments=budget)
+        assert res.output_segments <= max(budget, 3)
+        assert res.input_segments == f.n_segments
+        res = compact_lower(f, max_segments=budget)
+        assert res.output_segments <= max(budget, 2)
+
+    @given(convex_curves(max_segments=12), budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_convex_stays_convex(self, f, budget):
+        assert compact_upper(f, max_segments=budget).curve.is_convex
+        assert compact_lower(f, max_segments=budget).curve.is_convex
+
+    @given(concave_curves(max_segments=12), budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_concave_stays_concave(self, f, budget):
+        assert compact_upper(f, max_segments=budget).curve.is_concave
+        assert compact_lower(f, max_segments=budget).curve.is_concave
+
+    @given(jumpy_curves(max_segments=12), budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_breakpoints_stay_a_subset(self, f, budget):
+        # plateau merging keeps kept vertices in place, so downstream
+        # candidate-window enumerations over the jump points stay sound
+        # (the shaped paths may introduce crossing points instead — only
+        # the general path carries this guarantee)
+        if f.shape != "general":
+            return
+        for compact in (compact_upper, compact_lower):
+            out = compact(f, max_segments=budget).curve
+            assert np.all(np.isin(out.breakpoints, f.breakpoints))
+
+    @given(any_curves, budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_value_at_zero_preserved(self, f, budget):
+        # the burst is load-bearing: eq. (9) candidate enumerations never
+        # probe near 0, so compaction must not move f(0) in either direction
+        for compact in (compact_upper, compact_lower):
+            out = compact(f, max_segments=budget).curve
+            assert float(out(0.0)) == pytest.approx(float(f(0.0)), rel=1e-12, abs=1e-12)
+
+    @given(any_curves, budgets)
+    @settings(max_examples=80, deadline=None)
+    def test_final_slope_preserved(self, f, budget):
+        for compact in (compact_upper, compact_lower):
+            out = compact(f, max_segments=budget).curve
+            assert out.final_slope == pytest.approx(f.final_slope, rel=1e-12)
+
+
+class TestIdentity:
+    @given(any_curves)
+    @settings(max_examples=60, deadline=None)
+    def test_within_budget_is_the_same_object(self, f):
+        res = compact_upper(f, max_segments=max(f.n_segments, 2))
+        assert res.is_noop
+        assert res.curve is f
+        assert res.max_abs_error == 0.0
+
+    @given(any_curves)
+    @settings(max_examples=60, deadline=None)
+    def test_simplified_is_idempotent_by_identity(self, f):
+        g = f.simplified()
+        assert g.simplified() is g
+
+    def test_needs_a_budget(self):
+        f = PiecewiseLinearCurve([0.0], [0.0], [1.0])
+        with pytest.raises(Exception):
+            compact_upper(f)
+
+
+class TestBudgetedMinplus:
+    @given(
+        concave_curves(max_segments=10),
+        convex_curves(max_segments=10),
+        budgets,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budgeted_convolve_is_conservative_lower(self, f, g, budget):
+        exact = convolve(f, g)
+        out = convolve(f, g, max_segments=budget, direction="lower")
+        pts = _probes(f, g, exact, out)
+        assert np.all(exact(pts) - out(pts) >= -TOL * _scale(exact))
+
+    @given(
+        concave_curves(max_segments=8, slope_min=0.1, slope_max=2.0),
+        convex_curves(max_segments=8, slope_min=2.0, slope_max=6.0),
+        budgets,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_budgeted_deconvolve_is_conservative_upper(self, f, g, budget):
+        # deconvolution is monotone *decreasing* in g, so the upper-direction
+        # budget compacts g downwards — the result must dominate the exact one
+        exact = deconvolve(f, g)
+        out = deconvolve(f, g, max_segments=budget, direction="upper")
+        pts = _probes(f, g, exact, out)
+        assert np.all(out(pts) - exact(pts) >= -TOL * _scale(exact))
