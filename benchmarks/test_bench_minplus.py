@@ -1,6 +1,6 @@
 """Acceptance gates for the structure-aware min-plus layer.
 
-Two properties of PR 4 are load-bearing enough to gate in CI:
+Load-bearing properties gated in CI:
 
 * the convex ⊗ convex slope-merge fast path must beat the generic
   per-interval envelope kernel by >= 10x on large (>= 200-segment)
@@ -10,9 +10,14 @@ Two properties of PR 4 are load-bearing enough to gate in CI:
 * the streaming workload extraction must process a million-event demand
   trace in bounded memory — a small multiple of the chunk size, not of
   the trace — while returning bit-identical envelopes to the one-shot
-  kernel.
+  kernel;
+* the batched SoA backend must beat the numpy reference kernel by >= 5x
+  on a 200-segment *general* pair (no fast path applies — the regime the
+  backend exists for) and by >= 2.5x on a ``convolve_many`` batch of 32
+  distinct general pairs, with envelope-identical results.  The report
+  records which backend produced the numbers.
 
-Both gates run as plain tests (no ``--benchmark-only`` needed) and merge
+All gates run as plain tests (no ``--benchmark-only`` needed) and merge
 their measurements into ``benchmarks/BENCH_minplus.json``.
 """
 
@@ -25,8 +30,10 @@ import numpy as np
 import pytest
 
 import repro.perf as perf
+from repro.curves.backends import get_backend, use_backend
 from repro.curves.curve import PiecewiseLinearCurve
 from repro.curves.minplus import convolve, convolve_generic
+from repro.perf.batch import convolve_many
 from repro.util.staircase import (
     cumulative_envelope_minmax,
     make_k_grid,
@@ -135,6 +142,100 @@ def test_streaming_extraction_bounded_memory_gate():
         f"streaming peak {peak_bytes / 1e6:.2f} MB is not bounded well below "
         f"the {trace_bytes / 1e6:.0f} MB materialized trace"
     )
+
+
+def _random_general(rng: np.random.Generator, n: int) -> PiecewiseLinearCurve:
+    """A continuous *general* curve: random unsorted slopes, so neither
+    convexity nor concavity holds and no closed-form fast path applies."""
+    gaps = rng.uniform(0.5, 2.0, n - 1)
+    xs = np.concatenate(([0.0], np.cumsum(gaps)))
+    ss = rng.uniform(0.1, 10.0, n)
+    ys = np.cumsum(np.concatenate(([0.0], np.diff(xs) * ss[:-1])))
+    return PiecewiseLinearCurve(xs, ys, ss)
+
+
+def test_general_backend_speedup_gate():
+    """The batched SoA backend must be >= 5x faster than the numpy
+    reference on one 200-segment general pair, envelope-identically."""
+    rng = np.random.default_rng(20240808)
+    f = _random_general(rng, SEGMENTS)
+    g = _random_general(rng, SEGMENTS)
+    assert not (f.is_convex or f.is_concave)
+    assert not (g.is_convex or g.is_concave)
+
+    soa = get_backend("soa")
+    perf.configure(enabled=False)  # time the kernels, not the memo cache
+    try:
+        t0 = time.perf_counter()
+        oracle = convolve_generic(f, g)
+        generic_seconds = time.perf_counter() - t0
+
+        soa_seconds = np.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            out = soa.convolve(f, g)
+            soa_seconds = min(soa_seconds, time.perf_counter() - t0)
+    finally:
+        perf.configure(enabled=True)
+
+    pts = np.linspace(0.0, float(oracle.breakpoints[-1]) * 1.5, 4_096)
+    np.testing.assert_allclose(out(pts), oracle(pts), rtol=1e-12, atol=1e-12)
+
+    speedup = generic_seconds / soa_seconds
+    _merge_report(
+        "general_backend",
+        {
+            "backend": soa.name,
+            "segments": SEGMENTS,
+            "generic_seconds": generic_seconds,
+            "backend_seconds": soa_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 5.0, f"soa backend {speedup:.1f}x below the 5x gate"
+
+
+def test_batched_convolve_many_gate():
+    """``convolve_many`` on 32 distinct general pairs under the SoA
+    backend must be >= 2.5x faster than the per-pair reference loop."""
+    rng = np.random.default_rng(99)
+    pairs = [
+        (_random_general(rng, 60), _random_general(rng, 60)) for _ in range(32)
+    ]
+
+    perf.configure(enabled=False)  # no memoization: every pair is distinct
+    try:
+        t0 = time.perf_counter()
+        with use_backend("numpy"):
+            expected = convolve_many(pairs)
+        loop_seconds = time.perf_counter() - t0
+
+        batch_seconds = np.inf
+        for _ in range(3):
+            t0 = time.perf_counter()
+            with use_backend("soa"):
+                got = convolve_many(pairs)
+            batch_seconds = min(batch_seconds, time.perf_counter() - t0)
+    finally:
+        perf.configure(enabled=True)
+
+    pts = np.linspace(0.0, 60.0, 257)
+    for e, o in zip(expected, got):
+        np.testing.assert_allclose(o(pts), e(pts), rtol=1e-12, atol=1e-12)
+
+    speedup = loop_seconds / batch_seconds
+    _merge_report(
+        "batched_convolve_many",
+        {
+            "backend": "soa",
+            "batch": len(pairs),
+            "segments": 60,
+            "loop_seconds": loop_seconds,
+            "batch_seconds": batch_seconds,
+            "speedup": speedup,
+        },
+    )
+    assert speedup >= 2.5, f"batched convolve_many {speedup:.1f}x below the 2.5x gate"
 
 
 def test_bench_convex_convolve_fast(benchmark):

@@ -10,6 +10,9 @@ fails loudly instead of silently shipping garbage headline numbers.
 ``BENCH_compact.json`` additionally carries the acceptance numbers for
 the compaction PR, so its sections are checked key-by-key (chain speedup
 present and >= 1, eval counts positive, relative gap finite).
+``BENCH_minplus.json`` carries the backend-gate numbers: its backend
+sections must name the backend that produced them and report a speedup
+>= 1 over the reference kernel.
 
 Usage::
 
@@ -47,6 +50,27 @@ COMPACT_SECTIONS = {
         "bisect_frequency",
         "dense_frequency",
         "rel_gap",
+    },
+}
+
+
+#: Required keys per backend-gate section of BENCH_minplus.json — the
+#: gates in benchmarks/test_bench_minplus.py write exactly these.
+MINPLUS_BACKEND_SECTIONS = {
+    "general_backend": {
+        "backend",
+        "segments",
+        "generic_seconds",
+        "backend_seconds",
+        "speedup",
+    },
+    "batched_convolve_many": {
+        "backend",
+        "batch",
+        "segments",
+        "loop_seconds",
+        "batch_seconds",
+        "speedup",
     },
 }
 
@@ -115,6 +139,24 @@ def validate_compact(path: Path) -> None:
         fail(f"{path}: bisection_vs_dense: negative relative gap")
 
 
+def validate_minplus(path: Path) -> None:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    for section, required in MINPLUS_BACKEND_SECTIONS.items():
+        payload = report.get(section)
+        if payload is None:
+            fail(f"{path}: missing backend-gate section {section!r}")
+        missing = required - payload.keys()
+        if missing:
+            fail(f"{path}: {section}: missing keys {sorted(missing)}")
+        if not isinstance(payload["backend"], str) or not payload["backend"]:
+            fail(f"{path}: {section}: backend must name the kernel backend")
+        if payload["speedup"] < 1.0:
+            fail(
+                f"{path}: {section}: backend slower than the reference "
+                f"({payload['speedup']:.2f}x)"
+            )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -132,6 +174,8 @@ def main(argv: list[str] | None = None) -> int:
         sections = validate_report(path)
         if path.name == "BENCH_compact.json":
             validate_compact(path)
+        if path.name == "BENCH_minplus.json":
+            validate_minplus(path)
         print(f"{path}: {sections} sections ok")
     return 0
 

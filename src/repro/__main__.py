@@ -126,6 +126,27 @@ def _add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         help="base seed for deterministic per-task reseeding of the global "
         "RNGs in every worker (default: no reseeding)",
     )
+    parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="min-plus kernel backend for the generic curve algebra "
+        "(numpy, soa, numba when installed; see docs/performance.md); "
+        "worker processes inherit the choice",
+    )
+
+
+def _apply_backend(args: argparse.Namespace, parser) -> None:
+    """Activate ``--backend`` early: validates the name, routes the
+    in-process curve algebra, and exports the choice for workers."""
+    if args.backend:
+        from repro.perf import configure
+        from repro.util.validation import ValidationError
+
+        try:
+            configure(backend=args.backend)
+        except ValidationError as exc:
+            parser.error(str(exc))
 
 
 def _export_obs(args: argparse.Namespace) -> None:
@@ -191,6 +212,7 @@ def _experiments_main(argv: list[str]) -> int:
         parser.error(f"unknown experiment ids: {', '.join(unknown)} (known: {ids})")
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    _apply_backend(args, parser)
 
     if args.trace:
         tracer.enable()
@@ -207,6 +229,8 @@ def _experiments_main(argv: list[str]) -> int:
             kwargs["compact_error"] = args.compact_error
         if args.bisect and _accepts(run, "bisect"):
             kwargs["bisect"] = True
+        if args.backend and _accepts(run, "backend"):
+            kwargs["backend"] = args.backend
         return kwargs
 
     failures: list[str] = []
@@ -257,6 +281,7 @@ def _experiments_main(argv: list[str]) -> int:
                     "compact_error": args.compact_error,
                     "bisect": args.bisect,
                     "seed": args.seed,
+                    "backend": args.backend,
                 },
                 wall_time_s=time.perf_counter() - t0,
                 metrics=registry.snapshot(),
@@ -338,6 +363,7 @@ def _sweep_main(argv: list[str]) -> int:
         parser.error("--buffers must name at least one FIFO size")
     if args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    _apply_backend(args, parser)
 
     if args.trace:
         tracer.enable()
@@ -359,6 +385,7 @@ def _sweep_main(argv: list[str]) -> int:
                 "stream_chunk": args.stream_chunk,
                 "max_segments": args.max_segments,
                 "compact_error": args.compact_error,
+                "backend": args.backend,
                 "bisect": args.bisect,
             },
             max_workers=args.parallel,
@@ -413,6 +440,7 @@ def _sweep_main(argv: list[str]) -> int:
                 "max_segments": args.max_segments,
                 "compact_error": args.compact_error,
                 "bisect": args.bisect,
+                "backend": args.backend,
                 "parallel": args.parallel,
                 "seed": args.seed,
             },

@@ -1,0 +1,352 @@
+"""Optional numba-JIT scalar kernels for the generic min-plus operators.
+
+The reference kernel (:mod:`repro.curves.minplus`) is vectorized per grid
+cell; this module implements the identical per-cell construction as tight
+scalar loops and compiles them with numba when it is importable.  Without
+numba the module still imports cleanly — :data:`NUMBA_AVAILABLE` is false,
+:data:`NUMBA_IMPORT_ERROR` records why, and the loops run as (slow but
+correct) pure Python, which keeps the algorithm unit-testable on
+numba-less installs even though the backend registers as unavailable.
+
+JIT warm-up: the kernels compile on first call (``cache=True`` persists
+the machine code next to the bytecode cache), and every constructed curve
+is memoized by the kernel cache under the backend's compatibility tag, so
+a sweep pays compilation once per process at most.
+
+The construction mirrors the reference decision-for-decision (same grids,
+candidate lines, tie-breaks, and thresholds — see
+:mod:`repro.curves.soa` for the shared exactness notes); the differential
+conformance suite gates it against the reference and the brute oracles.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.perf.instrument import instrumented
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "NUMBA_IMPORT_ERROR",
+    "convolve_numba",
+    "deconvolve_numba",
+]
+
+try:
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+    NUMBA_IMPORT_ERROR = None
+except ImportError as exc:  # pragma: no cover - exercised on numba-less CI
+    NUMBA_AVAILABLE = False
+    NUMBA_IMPORT_ERROR = str(exc) or "numba is not installed"
+
+    def njit(*args, **kwargs):
+        """Identity decorator standing in for ``numba.njit``."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+@njit(cache=True)
+def _idx_right(x, t, n):
+    """``np.searchsorted(x[:n], t, side='right') - 1`` as a scalar loop."""
+    lo, hi = 0, n
+    while lo < hi:
+        m = (lo + hi) // 2
+        if x[m] <= t:
+            lo = m + 1
+        else:
+            hi = m
+    return lo - 1
+
+
+@njit(cache=True)
+def _envelope_cell(va, sl, k, a, b, out_x, out_v, out_s, n_out, lower):
+    """Sweep the envelope of ``k`` lines over ``[a, b)`` into the output
+    arrays starting at ``n_out``; returns the new segment count.
+
+    Scalar replay of the reference sweep: extremal value, ties within
+    1e-12 relative broken by flattest (lower) / steepest (upper) slope
+    then smallest value, crossings past the 1e-15 thresholds.
+    """
+    x = a
+    maxseg = k + 2
+    emitted = 0
+    while x < b - 1e-18 and emitted < maxseg:
+        if lower:
+            vbest = math.inf
+            for j in range(k):
+                vj = va[j] + sl[j] * (x - a)
+                if vj < vbest:
+                    vbest = vj
+        else:
+            vbest = -math.inf
+            for j in range(k):
+                vj = va[j] + sl[j] * (x - a)
+                if vj > vbest:
+                    vbest = vj
+        tol = 1e-12 + 1e-12 * abs(vbest)
+        if lower:
+            best_slope = math.inf
+            for j in range(k):
+                vj = va[j] + sl[j] * (x - a)
+                if vj <= vbest + tol and sl[j] < best_slope:
+                    best_slope = sl[j]
+        else:
+            best_slope = -math.inf
+            for j in range(k):
+                vj = va[j] + sl[j] * (x - a)
+                if vj >= vbest - tol and sl[j] > best_slope:
+                    best_slope = sl[j]
+        best_val = math.inf
+        for j in range(k):
+            vj = va[j] + sl[j] * (x - a)
+            if lower:
+                near = vj <= vbest + tol
+            else:
+                near = vj >= vbest - tol
+            if near and sl[j] == best_slope and vj < best_val:
+                best_val = vj
+        next_x = b
+        for j in range(k):
+            rel = sl[j] - best_slope
+            mag = abs(sl[j])
+            if abs(best_slope) > mag:
+                mag = abs(best_slope)
+            if mag < 1.0:
+                mag = 1.0
+            if abs(rel) > 1e-15 * mag and ((rel < 0) if lower else (rel > 0)):
+                vj = va[j] + sl[j] * (x - a)
+                t = (vj - best_val) / (-rel)
+                if t > 1e-15 and x + t < next_x:
+                    next_x = x + t
+        out_x[n_out] = x
+        out_v[n_out] = best_val
+        out_s[n_out] = best_slope
+        n_out += 1
+        emitted += 1
+        if not math.isfinite(next_x):
+            break
+        x = next_x
+    return n_out
+
+
+@njit(cache=True)
+def _convolve_cells(fx, fy, fs, fleft, gx, gy, gs, gleft, grid):
+    """All envelope cells of one convolution; returns packed segments."""
+    nf = fx.size
+    ng = gx.size
+    n_grid = grid.size
+    kmax = 2 * (nf + ng)
+    va = np.empty(kmax)
+    sl = np.empty(kmax)
+    cap = 4 * n_grid + 16
+    out_x = np.empty(cap)
+    out_v = np.empty(cap)
+    out_s = np.empty(cap)
+    n_out = 0
+    for i in range(n_grid):
+        a = grid[i]
+        last = i + 1 >= n_grid
+        if last:
+            w = abs(a)
+            if w < 1.0:
+                w = 1.0
+            b = a + w
+        else:
+            b = grid[i + 1]
+        mid = 0.5 * (a + b)
+        half = mid - a
+        k = 0
+        for j in range(nf):
+            if fx[j] > a + 1e-15:
+                break
+            rest = mid - fx[j]
+            idx = _idx_right(gx, rest, ng)
+            slope = gs[idx]
+            g_rest = 0.0 if rest == 0.0 else gy[idx] + gs[idx] * (rest - gx[idx])
+            f_at = 0.0 if fx[j] == 0.0 else fy[j]
+            va[k] = f_at + g_rest - slope * half
+            sl[k] = slope
+            k += 1
+            if fx[j] > 0.0:
+                va[k] = fleft[j] + g_rest - slope * half
+                sl[k] = slope
+                k += 1
+        for j in range(ng):
+            if gx[j] > a + 1e-15:
+                break
+            s_mid = mid - gx[j]
+            idx = _idx_right(fx, s_mid, nf)
+            slope = fs[idx]
+            f_smid = 0.0 if s_mid == 0.0 else fy[idx] + fs[idx] * (s_mid - fx[idx])
+            g_at = 0.0 if gx[j] == 0.0 else gy[j]
+            va[k] = f_smid + g_at - slope * half
+            sl[k] = slope
+            k += 1
+            if gx[j] > 0.0:
+                va[k] = f_smid + gleft[j] - slope * half
+                sl[k] = slope
+                k += 1
+        if last:
+            b = math.inf
+        need = n_out + k + 2
+        if need > cap:
+            new_cap = cap
+            while new_cap < need:
+                new_cap *= 2
+            nx = np.empty(new_cap)
+            nv = np.empty(new_cap)
+            ns = np.empty(new_cap)
+            nx[:n_out] = out_x[:n_out]
+            nv[:n_out] = out_v[:n_out]
+            ns[:n_out] = out_s[:n_out]
+            out_x, out_v, out_s = nx, nv, ns
+            cap = new_cap
+        n_out = _envelope_cell(va, sl, k, a, b, out_x, out_v, out_s, n_out, True)
+    return out_x[:n_out], out_v[:n_out], out_s[:n_out]
+
+
+@njit(cache=True)
+def _deconvolve_cells(fx, fy, fs, gx, gy, gs, gleft, grid):
+    """All envelope cells of one deconvolution; returns packed segments."""
+    nf = fx.size
+    ng = gx.size
+    n_grid = grid.size
+    kmax = 2 * ng + nf
+    va = np.empty(kmax)
+    sl = np.empty(kmax)
+    cap = 4 * n_grid + 16
+    out_x = np.empty(cap)
+    out_v = np.empty(cap)
+    out_s = np.empty(cap)
+    n_out = 0
+    for i in range(n_grid):
+        a = grid[i]
+        last = i + 1 >= n_grid
+        if last:
+            w = abs(a)
+            if w < 1.0:
+                w = 1.0
+            b = a + w
+        else:
+            b = grid[i + 1]
+        mid = 0.5 * (a + b)
+        half = mid - a
+        k = 0
+        for j in range(ng):
+            u = gx[j]
+            idx = _idx_right(fx, mid + u, nf)
+            slope = fs[idx]
+            f_shift = fy[idx] + fs[idx] * (mid + u - fx[idx])
+            g_at = 0.0 if u == 0.0 else gy[j]
+            va[k] = f_shift - g_at - slope * half
+            sl[k] = slope
+            k += 1
+            if u > 0.0:
+                va[k] = f_shift - gleft[j] - slope * half
+                sl[k] = slope
+                k += 1
+        for j in range(nf):
+            if fx[j] < mid:
+                continue
+            u_mid = fx[j] - mid
+            idx = _idx_right(gx, u_mid, ng)
+            slope = gs[idx]
+            g_umid = 0.0 if u_mid == 0.0 else gy[idx] + gs[idx] * (u_mid - gx[idx])
+            va[k] = fy[j] - g_umid - slope * half
+            sl[k] = slope
+            k += 1
+        if last:
+            b = math.inf
+        need = n_out + k + 2
+        if need > cap:
+            new_cap = cap
+            while new_cap < need:
+                new_cap *= 2
+            nx = np.empty(new_cap)
+            nv = np.empty(new_cap)
+            ns = np.empty(new_cap)
+            nx[:n_out] = out_x[:n_out]
+            nv[:n_out] = out_v[:n_out]
+            ns[:n_out] = out_s[:n_out]
+            out_x, out_v, out_s = nx, nv, ns
+            cap = new_cap
+        n_out = _envelope_cell(va, sl, k, a, b, out_x, out_v, out_s, n_out, False)
+    return out_x[:n_out], out_v[:n_out], out_s[:n_out]
+
+
+def _left_limits(curve):
+    """Per-breakpoint left limits, as the reference ``_CurveArrays``."""
+    x = curve.breakpoints
+    y = curve.values_at_breakpoints
+    s = curve.slopes
+    left = np.empty_like(y)
+    left[0] = y[0]
+    if x.size > 1:
+        left[1:] = y[:-1] + s[:-1] * np.diff(x)
+    return left
+
+
+@instrumented("minplus.convolve_numba", attrs=lambda f, g: {"backend": "numba"})
+def convolve_numba(f, g):
+    """Generic min-plus convolution via the scalar-loop kernel."""
+    from repro.curves.minplus import _dedupe_grid, _monotone_pwl
+
+    grid = _dedupe_grid(np.unique(np.add.outer(f.breakpoints, g.breakpoints).ravel()))
+    xs, vs, ss = _convolve_cells(
+        f.breakpoints,
+        f.values_at_breakpoints,
+        f.slopes,
+        _left_limits(f),
+        g.breakpoints,
+        g.values_at_breakpoints,
+        g.slopes,
+        _left_limits(g),
+        grid,
+    )
+    ys = np.maximum(vs, 0.0)
+    ss = np.maximum(ss, 0.0)
+    ss[-1] = max(min(f.final_slope, g.final_slope), 0.0)
+    return _monotone_pwl(xs, ys, ss)
+
+
+@instrumented("minplus.deconvolve_numba", attrs=lambda f, g: {"backend": "numba"})
+def deconvolve_numba(f, g):
+    """Generic min-plus deconvolution via the scalar-loop kernel.
+
+    The caller (dispatch or backend) performs the divergence check; this
+    mirrors the reference ``_deconvolve_impl`` exactly.
+    """
+    from repro.curves.minplus import UnboundedCurveError, _dedupe_grid, _monotone_pwl
+
+    if f.final_slope > g.final_slope + 1e-12:
+        raise UnboundedCurveError(
+            f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
+            f"service rate {g.final_slope:g}"
+        )
+    diffs = np.unique(np.subtract.outer(f.breakpoints, g.breakpoints).ravel())
+    grid = _dedupe_grid(diffs[diffs >= 0.0])
+    if grid.size == 0 or grid[0] != 0.0:
+        grid = np.concatenate(([0.0], grid))
+    xs, vs, ss = _deconvolve_cells(
+        f.breakpoints,
+        f.values_at_breakpoints,
+        f.slopes,
+        g.breakpoints,
+        g.values_at_breakpoints,
+        g.slopes,
+        _left_limits(g),
+        grid,
+    )
+    ys = np.maximum(vs, 0.0)
+    ss = np.maximum(ss, 0.0)
+    ss[-1] = max(f.final_slope, 0.0)
+    return _monotone_pwl(xs, ys, ss)

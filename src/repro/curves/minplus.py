@@ -53,7 +53,13 @@ vectorized (per-interval batch numpy instead of per-breakpoint Python),
 and the full curve operators are memoized by operand content digest —
 with a structure tag in the key — through :mod:`repro.perf.cache`, so a
 design-space sweep that re-convolves the same pair pays for the
-construction once.  Every kernel body reports call counts and timing
+construction once.  The generic construction itself is *pluggable*: the
+dispatchers route generic-regime operands through the active
+:mod:`repro.curves.backends` backend (pure-numpy reference, batched SoA,
+or numba JIT), and the cache key of such operands carries the backend's
+compatibility tag so memoized results stay sound across backend
+switches; fast-path results are backend-independent and keep untagged
+keys.  Every kernel body reports call counts and timing
 histograms into the :mod:`repro.obs` metrics registry and, when tracing
 is enabled, opens a span carrying the operand segment counts.  All paths
 are validated against the definitional brute-force implementations in
@@ -359,13 +365,33 @@ def convolve(
         same, _, run = budget
         out = convolve(run(same, f), run(same, g))
         return run(same, out)
+    return kernel_cache.get_or_compute(
+        _convolve_key(f, g), lambda: _convolve_dispatch(f, g)
+    )
+
+
+def _is_generic_convolve_pair(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> bool:
+    """Whether ``f ⊗ g`` misses every closed-form fast path and therefore
+    routes through the active generic-kernel backend."""
+    return not (
+        (f.is_convex and g.is_convex) or (f.is_concave and g.is_concave)
+    )
+
+
+def _convolve_key(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> tuple:
+    """Cache key of ``f ⊗ g``; generic-regime pairs carry the active
+    backend's compatibility tag (fast-path results are backend-free)."""
     key = (
         "minplus.convolve",
         f.shape + "*" + g.shape,
         f.content_digest(),
         g.content_digest(),
     )
-    return kernel_cache.get_or_compute(key, lambda: _convolve_dispatch(f, g))
+    if _is_generic_convolve_pair(f, g):
+        from repro.curves.backends import active_backend
+
+        key = key + ("backend:" + active_backend().compat_tag,)
+    return key
 
 
 def _convolve_dispatch(
@@ -375,7 +401,9 @@ def _convolve_dispatch(
         return _convolve_convex(f, g)
     if f.is_concave and g.is_concave:
         return _convolve_concave(f, g)
-    return _convolve_impl(f, g)
+    from repro.curves.backends import active_backend
+
+    return active_backend().convolve(f, g)
 
 
 def convolve_generic(
@@ -393,6 +421,12 @@ def convolve_generic(
 def _pair_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
     """Span attributes of a binary curve kernel (only built while tracing)."""
     return {"f_segments": int(f.breakpoints.size), "g_segments": int(g.breakpoints.size)}
+
+
+def _generic_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
+    """Span attributes of the reference generic kernel, tagged with its
+    backend name so traces show which backend computed each convolution."""
+    return {**_pair_attrs(f, g), "backend": "numpy"}
 
 
 def _restamp(out: PiecewiseLinearCurve, shape: str) -> PiecewiseLinearCurve:
@@ -448,7 +482,7 @@ def _convolve_concave(
     return _restamp(f.minimum(g), "concave")
 
 
-@instrumented("minplus.convolve", attrs=_pair_attrs)
+@instrumented("minplus.convolve", attrs=_generic_attrs)
 def _convolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)
@@ -551,13 +585,33 @@ def deconvolve(
             f"deconvolution diverges: arrival rate {f.final_slope:g} exceeds "
             f"service rate {g.final_slope:g}"
         )
+    return kernel_cache.get_or_compute(
+        _deconvolve_key(f, g), lambda: _deconvolve_dispatch(f, g)
+    )
+
+
+def _is_generic_deconvolve_pair(
+    f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
+) -> bool:
+    """Whether ``f ⊘ g`` misses the concave-over-convex fast path and
+    therefore routes through the active generic-kernel backend."""
+    return not (f.is_concave and g.is_convex and f.final_slope <= g.final_slope)
+
+
+def _deconvolve_key(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> tuple:
+    """Cache key of ``f ⊘ g``; generic-regime pairs carry the active
+    backend's compatibility tag (fast-path results are backend-free)."""
     key = (
         "minplus.deconvolve",
         f.shape + "/" + g.shape,
         f.content_digest(),
         g.content_digest(),
     )
-    return kernel_cache.get_or_compute(key, lambda: _deconvolve_dispatch(f, g))
+    if _is_generic_deconvolve_pair(f, g):
+        from repro.curves.backends import active_backend
+
+        key = key + ("backend:" + active_backend().compat_tag,)
+    return key
 
 
 def _deconvolve_dispatch(
@@ -569,7 +623,9 @@ def _deconvolve_dispatch(
     # the generic construction
     if f.is_concave and g.is_convex and f.final_slope <= g.final_slope:
         return _deconvolve_concave_convex(f, g)
-    return _deconvolve_impl(f, g)
+    from repro.curves.backends import active_backend
+
+    return active_backend().deconvolve(f, g)
 
 
 def deconvolve_generic(
@@ -640,7 +696,7 @@ def _deconvolve_concave_convex(
     return _restamp(PiecewiseLinearCurve(xs, ys, ss).simplified(), "concave")
 
 
-@instrumented("minplus.deconvolve", attrs=_pair_attrs)
+@instrumented("minplus.deconvolve", attrs=_generic_attrs)
 def _deconvolve_impl(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> PiecewiseLinearCurve:
     fa = _CurveArrays(f)
     ga = _CurveArrays(g)

@@ -316,6 +316,7 @@ def sweep_frequency_evaluator(
     stream_chunk: int | None = None,
     max_segments: int | None = None,
     compact_error: float | None = None,
+    backend: str | None = None,
 ):
     """Warm-started frequency evaluator over the cached case-study context.
 
@@ -325,12 +326,23 @@ def sweep_frequency_evaluator(
     conservative arrival compaction (*max_segments*/*compact_error* — see
     :func:`repro.curves.compact.compact_upper`), and the per-buffer
     ``γ^u`` demand tables are computed once and shared by every sweep
-    point the worker evaluates.  Without compaction knobs the evaluator
-    reproduces the exact per-point computation bit-identically.
+    point the worker evaluates.  *backend* pins the min-plus kernel
+    backend the evaluator's curve algebra runs under (see
+    :mod:`repro.curves.backends`; ``None`` inherits the process-wide
+    choice).  Without compaction knobs the evaluator reproduces the exact
+    per-point computation bit-identically.
     """
     from repro.analysis.frequency import FrequencySweepEvaluator
 
-    key = (frames, dense_limit, growth, stream_chunk, max_segments, compact_error)
+    key = (
+        frames,
+        dense_limit,
+        growth,
+        stream_chunk,
+        max_segments,
+        compact_error,
+        backend,
+    )
     evaluator = _EVALUATOR_CACHE.get(key)
     if evaluator is None:
         ctx = case_study_context(
@@ -345,6 +357,7 @@ def sweep_frequency_evaluator(
             wcet=ctx.wcet,
             max_segments=max_segments,
             max_error=compact_error,
+            backend=backend,
         )
         _EVALUATOR_CACHE[key] = evaluator
     else:

@@ -13,8 +13,16 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.curves.backends import active_backend
 from repro.curves.curve import PiecewiseLinearCurve
-from repro.curves.minplus import convolve, deconvolve
+from repro.curves.minplus import (
+    _convolve_key,
+    _is_generic_convolve_pair,
+    convolve,
+    deconvolve,
+)
+from repro.obs.metrics import registry as _metrics
+from repro.perf.cache import kernel_cache
 from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError
 
@@ -27,12 +35,61 @@ _Pair = tuple[PiecewiseLinearCurve, PiecewiseLinearCurve]
 def convolve_many(pairs: Sequence[_Pair], **budget) -> list[PiecewiseLinearCurve]:
     """Min-plus convolution of every ``(f, g)`` pair.
 
-    Each pair routes through the memoized :func:`repro.curves.minplus
-    .convolve`, so repeated pairs — common when a sweep perturbs only one
-    operand — cost one construction.  Budget keywords
+    Structured pairs (and all budgeted calls) route through the memoized
+    :func:`repro.curves.minplus.convolve`, so repeated pairs — common when
+    a sweep perturbs only one operand — cost one construction.  When the
+    active backend is batched (``supports_batch``), the *generic* pairs
+    are instead probed against the kernel cache, deduplicated by content
+    key, partitioned by tail regime (the batched kernel requires
+    tail-homogeneous batches), and computed in one vectorized kernel call
+    per partition; a partition the backend still refuses falls back to the
+    per-pair generic path *for that partition only*.  Budget keywords
     (``max_segments``/``max_error``/``direction``) are forwarded.
     """
-    return [convolve(f, g, **budget) for f, g in pairs]
+    pairs = list(pairs)
+    backend = active_backend()
+    if budget or not backend.supports_batch:
+        return [convolve(f, g, **budget) for f, g in pairs]
+    results: list[PiecewiseLinearCurve | None] = [None] * len(pairs)
+    misses: dict[tuple, list[int]] = {}
+    for i, (f, g) in enumerate(pairs):
+        if not _is_generic_convolve_pair(f, g):
+            results[i] = convolve(f, g)
+            continue
+        key = _convolve_key(f, g)
+        found, value = kernel_cache.lookup(key)
+        if found:
+            results[i] = value
+        else:
+            misses.setdefault(key, []).append(i)
+    if misses:
+        unique = [(key, idxs[0]) for key, idxs in misses.items()]
+        saturating = [
+            (key, i)
+            for key, i in unique
+            if min(pairs[i][0].final_slope, pairs[i][1].final_slope) == 0.0
+        ]
+        unbounded = [
+            (key, i)
+            for key, i in unique
+            if min(pairs[i][0].final_slope, pairs[i][1].final_slope) != 0.0
+        ]
+        for partition in (saturating, unbounded):
+            if not partition:
+                continue
+            operands = [pairs[i] for _, i in partition]
+            try:
+                outs = backend.convolve_batch(operands)
+            except ValidationError:
+                _metrics.counter(
+                    "minplus.batch.fallback", backend=backend.name
+                ).inc()
+                outs = [backend.convolve(f, g) for f, g in operands]
+            for (key, _), out in zip(partition, outs):
+                kernel_cache.put(key, out)
+                for i in misses[key]:
+                    results[i] = out
+    return results
 
 
 @instrumented("batch.deconvolve_many")

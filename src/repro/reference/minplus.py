@@ -61,14 +61,24 @@ def _left_limit(curve: PiecewiseLinearCurve, x: float) -> float:
 
 def _chord_points(curve: PiecewiseLinearCurve, *, include_zero: bool) -> list[float]:
     """Sorted sample abscissae: breakpoints plus a dense uniform grid out to
-    past the last breakpoint (both curve pieces beyond it are affine)."""
+    past the last breakpoint (both curve pieces beyond it are affine).
+
+    Near-duplicate points are merged: a dense sample landing within an ulp
+    of a breakpoint would otherwise create a degenerate chord whose slope
+    is numerical garbage (0/ulp), falsely breaking chord monotonicity.
+    """
     points = {float(x) for x in curve.breakpoints}
     horizon = 2.0 * max(points) + 1.0
     for i in range(DENSE_SAMPLES):
         points.add(horizon * i / (DENSE_SAMPLES - 1))
     if not include_zero:
         points.discard(0.0)
-    return sorted(points)
+    deduped: list[float] = []
+    for p in sorted(points):
+        if deduped and p - deduped[-1] <= 1e-12 * max(1.0, abs(p)):
+            continue
+        deduped.append(p)
+    return deduped
 
 
 def _jumps_on(curve: PiecewiseLinearCurve, *, interior_only: bool) -> bool:

@@ -48,6 +48,7 @@ def frequency_backlog_point(
     stream_chunk: int | None = None,
     max_segments: int | None = None,
     compact_error: float | None = None,
+    backend: str | None = None,
     bisect: bool = False,
 ):
     """One sweep point: both frequency bounds and the event backlog at
@@ -66,7 +67,10 @@ def frequency_backlog_point(
     :mod:`repro.curves.compact`; bounds can only become more
     pessimistic), and *bisect* replaces the closed-form eq. (9) scan with
     the monotone feasibility bisection of
-    :meth:`repro.analysis.frequency.FrequencySweepEvaluator.bisect`.
+    :meth:`repro.analysis.frequency.FrequencySweepEvaluator.bisect`, and
+    *backend* pins the min-plus kernel backend the point's curve algebra
+    runs under (recorded in the manifest like every other point
+    parameter; ``None`` inherits the process-wide choice).
     All three ride the worker-cached
     :func:`~repro.experiments.common.sweep_frequency_evaluator`, so the
     candidate grid and the compacted operands are shared by every point
@@ -89,6 +93,7 @@ def frequency_backlog_point(
         stream_chunk: int | None,
         max_segments: int | None,
         compact_error: float | None,
+        backend: str | None,
         bisect: bool,
     ) -> ExperimentResult:
         """Inner harnessed run so the manifest captures the point params."""
@@ -99,6 +104,7 @@ def frequency_backlog_point(
             stream_chunk=stream_chunk,
             max_segments=max_segments,
             compact_error=compact_error,
+            backend=backend,
         )
         if bisect:
             f_gamma = evaluator.bisect(buffer_size)
@@ -124,6 +130,8 @@ def frequency_backlog_point(
         }
         if f_gamma.method != "workload-curves":
             data["f_gamma_method"] = f_gamma.method
+        if evaluator.backend is not None:
+            data["backend"] = evaluator.backend
         if evaluator.compaction is not None:
             data["compaction_abs_error"] = evaluator.compaction.max_abs_error
             data["compaction_segments"] = evaluator.compaction.output_segments
@@ -143,6 +151,7 @@ def frequency_backlog_point(
         stream_chunk=stream_chunk,
         max_segments=max_segments,
         compact_error=compact_error,
+        backend=backend,
         bisect=bisect,
     )
 

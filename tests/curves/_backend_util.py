@@ -1,0 +1,26 @@
+"""Shared pytest parametrization over the min-plus backend registry.
+
+Every suite that exercises the generic kernel parametrizes over
+:func:`backend_params`, so each test runs once per *registered* backend:
+available backends run, unavailable ones (e.g. the numba backend on an
+install without numba) appear as skips with the import-failure reason —
+visible in the test report rather than silently absent.
+"""
+
+import pytest
+
+from repro.curves.backends import registered_backends
+
+
+def backend_params():
+    """``pytest.param`` per registered backend, unavailable ones skipped
+    with a visible reason; order is deterministic (sorted by name)."""
+    params = []
+    for name, backend in sorted(registered_backends().items()):
+        marks = ()
+        if not backend.available():
+            marks = pytest.mark.skip(
+                reason=f"backend {name!r} unavailable: {backend.unavailable_reason()}"
+            )
+        params.append(pytest.param(name, marks=marks, id=name))
+    return params

@@ -25,7 +25,15 @@ from repro.curves.minplus import (
     deconvolve,
     deconvolve_generic,
 )
+from repro.curves.backends import use_backend
 from repro.reference import is_concave_brute, is_convex_brute
+
+from tests.curves._backend_util import backend_params
+
+#: Registered backends (numba skips with a visible reason when missing);
+#: generic-path tests run once per backend so the dispatch + oracle
+#: agreement gates every implementation, not just the numpy reference.
+BACKENDS = backend_params()
 
 RTOL = 1e-12
 ATOL = 1e-12
@@ -147,20 +155,24 @@ class TestConvolveFastPaths:
         np.testing.assert_allclose(fast(pts), oracle(pts), rtol=RTOL, atol=ATOL)
         assert fast.is_concave
 
+    @pytest.mark.parametrize("backend_name", BACKENDS)
     @given(convex_curves(), concave_curves())
     @settings(max_examples=40, deadline=None)
-    def test_mixed_dispatches_to_generic(self, f, g):
+    def test_mixed_dispatches_to_generic(self, backend_name, f, g):
         # mixed shapes fall through to the generic kernel; the memoized
         # entry point must still agree with a direct oracle call
-        out = convolve(f, g)
+        with use_backend(backend_name):
+            out = convolve(f, g)
         oracle = convolve_generic(f, g)
         pts = _probe_grid(f, g, out, oracle)
         np.testing.assert_allclose(out(pts), oracle(pts), rtol=RTOL, atol=ATOL)
 
+    @pytest.mark.parametrize("backend_name", BACKENDS)
     @given(jumpy_curves(), jumpy_curves())
     @settings(max_examples=40, deadline=None)
-    def test_general_curves_match_generic(self, f, g):
-        out = convolve(f, g)
+    def test_general_curves_match_generic(self, backend_name, f, g):
+        with use_backend(backend_name):
+            out = convolve(f, g)
         oracle = convolve_generic(f, g)
         pts = _probe_grid(f, g, out, oracle)
         np.testing.assert_allclose(out(pts), oracle(pts), rtol=RTOL, atol=ATOL)
