@@ -12,11 +12,16 @@ the compaction PR, so its sections are checked key-by-key (chain speedup
 present and >= 1, eval counts positive, relative gap finite).
 ``BENCH_minplus.json`` carries the backend-gate numbers: its backend
 sections must name the backend that produced them and report a speedup
->= 1 over the reference kernel.
+>= 1 over the reference kernel.  When a trajectory store exists, every
+BENCH section naming a backend is additionally cross-checked against the
+latest trajectory record's backend claims, so a BENCH file regenerated
+under a different backend cannot silently desynchronize from the history
+(see ``repro.obs.trajectory``).
 
 Usage::
 
     python scripts/validate_bench.py [--bench-dir benchmarks]
+                                     [--trajectory PATH]
 
 Uses only the standard library.  Exits non-zero on the first violation.
 """
@@ -157,6 +162,59 @@ def validate_minplus(path: Path) -> None:
             )
 
 
+def validate_trajectory_backends(bench_dir: Path, trajectory_path: Path) -> int:
+    """Cross-check BENCH backends against the latest trajectory record.
+
+    The trajectory record a benchmark session appends claims which
+    backend produced each BENCH section (``benchmarks/conftest.py``); if
+    a BENCH file was later regenerated under a different backend without
+    appending a new record, the store's latest claim is stale and the
+    history would attribute the numbers to the wrong kernel.  Returns the
+    number of sections cross-checked (0 when no store exists yet).
+    """
+    if not trajectory_path.exists():
+        return 0
+    latest = None
+    for lineno, line in enumerate(
+        trajectory_path.read_text(encoding="utf-8").splitlines(), 1
+    ):
+        if not line.strip():
+            continue
+        try:
+            latest = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{trajectory_path}:{lineno}: invalid JSON: {exc}")
+    if latest is None:
+        return 0
+    recorded = latest.get("backends", {})
+    checked = 0
+    for path in sorted(bench_dir.glob("BENCH_*.json")):
+        name = path.name[len("BENCH_") : -len(".json")]
+        report = json.loads(path.read_text(encoding="utf-8"))
+        for section, payload in report.items():
+            if not isinstance(payload, dict):
+                continue
+            backend = payload.get("backend")
+            if not isinstance(backend, str):
+                continue
+            claimed = recorded.get(f"{name}.{section}")
+            if claimed is None:
+                fail(
+                    f"{path}: section {section!r} names backend "
+                    f"{backend!r} but the latest trajectory record has no "
+                    f"backend entry for it — rerun the benchmark session "
+                    f"so the store catches up"
+                )
+            if claimed != backend:
+                fail(
+                    f"{path}: section {section!r} was produced by backend "
+                    f"{backend!r} but the latest trajectory record claims "
+                    f"{claimed!r}"
+                )
+            checked += 1
+    return checked
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -164,6 +222,13 @@ def main(argv: list[str] | None = None) -> int:
         type=Path,
         default=Path("benchmarks"),
         help="directory holding BENCH_*.json reports (default: benchmarks)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=None,
+        help="trajectory store to cross-check backend names against "
+        "(default: <bench-dir>/TRAJECTORY.jsonl when present)",
     )
     args = parser.parse_args(argv)
 
@@ -177,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         if path.name == "BENCH_minplus.json":
             validate_minplus(path)
         print(f"{path}: {sections} sections ok")
+    trajectory_path = args.trajectory or args.bench_dir / "TRAJECTORY.jsonl"
+    checked = validate_trajectory_backends(args.bench_dir, trajectory_path)
+    if checked:
+        print(
+            f"{trajectory_path}: {checked} backend claims match the BENCH files"
+        )
     return 0
 
 

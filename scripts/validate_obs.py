@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Validate observability artifacts emitted by ``python -m repro``.
 
-Checks a trace JSONL file, a metrics snapshot, and (optionally) run
-manifests against the ``repro.obs`` schemas, using only the standard
-library so CI can run it without the package installed.
+Checks a trace JSONL file, a metrics snapshot, run manifests, a
+``repro.profile/1`` report (``obs report --json``), and the trajectory
+store (``benchmarks/TRAJECTORY.jsonl``) against the ``repro.obs``
+schemas, using only the standard library so CI can run it without the
+package installed.
 
 Usage::
 
     python scripts/validate_obs.py --trace trace.jsonl \
-        --metrics metrics.json --manifest-dir obs-out
+        --metrics metrics.json --manifest-dir obs-out \
+        --profile profile.json --trajectory benchmarks/TRAJECTORY.jsonl
 
 Exits non-zero with a message on the first violation.
 """
@@ -17,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 from pathlib import Path
 
@@ -60,6 +64,8 @@ def validate_trace(path: Path) -> int:
             fail(f"{path}:{lineno}: negative timestamp/duration")
         if not isinstance(record["attrs"], dict):
             fail(f"{path}:{lineno}: attrs must be an object")
+        if "unfinished" in record and record["unfinished"] is not True:
+            fail(f"{path}:{lineno}: unfinished marker must be true when present")
         ids.add(record["id"])
         count += 1
     if count == 0:
@@ -123,6 +129,90 @@ def validate_manifest(path: Path) -> None:
             fail(f"{path}: input {name!r} has no digest")
 
 
+def _check_row(path: Path, name: str, row: object) -> None:
+    if not isinstance(row, dict):
+        fail(f"{path}: profile row {name!r} must be an object")
+    for key in ("calls", "total_s", "self_s"):
+        value = row.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            fail(f"{path}: profile row {name!r} has bad {key!r}: {value!r}")
+    if row["self_s"] > row["total_s"] * (1 + 1e-9) + 1e-12:
+        fail(f"{path}: profile row {name!r} self time exceeds total")
+
+
+def validate_profile(path: Path) -> None:
+    try:
+        report = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        fail(f"{path}: invalid JSON: {exc}")
+    if report.get("schema") != "repro.profile/1":
+        fail(f"{path}: unexpected schema {report.get('schema')!r}")
+    if "trace" not in report and "dispatch" not in report:
+        fail(f"{path}: profile carries neither a trace nor a metrics section")
+    if "trace" in report:
+        agg = report["trace"]
+        for section in ("spans", "backends", "shapes"):
+            group = agg.get(section)
+            if not isinstance(group, dict):
+                fail(f"{path}: trace section {section!r} must be an object")
+            for name, row in group.items():
+                _check_row(path, f"{section}.{name}", row)
+        if agg.get("span_count", -1) < 0:
+            fail(f"{path}: negative span_count")
+        for stack, micros in report.get("stacks", {}).items():
+            if ";" in stack.strip(";") and not stack:
+                fail(f"{path}: empty collapsed stack")
+            if not isinstance(micros, int) or micros <= 0:
+                fail(f"{path}: stack {stack!r} weight must be a positive int")
+    if "dispatch" in report:
+        cache = report.get("cache")
+        if not isinstance(cache, dict):
+            fail(f"{path}: metrics-backed profile must carry a cache section")
+        tiers = cache["memory"] + cache["disk"] + cache["miss"]
+        if tiers != cache["lookups"]:
+            fail(
+                f"{path}: cache tiers sum {tiers} != lookups {cache['lookups']}"
+            )
+        for entry in report.get("quantiles", ()):
+            qs = entry.get("quantiles", {})
+            ordered = [qs.get(k) for k in ("p50", "p95", "p99") if k in qs]
+            if any(q is None for q in ordered):
+                fail(f"{path}: {entry.get('name')}: null quantile")
+            if ordered != sorted(ordered):
+                fail(f"{path}: {entry.get('name')}: quantiles not monotone")
+
+
+def validate_trajectory(path: Path) -> int:
+    count = 0
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno}: invalid JSON: {exc}")
+        if record.get("schema") != "repro.trajectory/1":
+            fail(f"{path}:{lineno}: unexpected schema {record.get('schema')!r}")
+        metrics = record.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            fail(f"{path}:{lineno}: record without metrics")
+        for name, value in metrics.items():
+            if not isinstance(value, (int, float)) or not math.isfinite(value):
+                fail(f"{path}:{lineno}: metric {name!r} is not finite: {value!r}")
+        backends = record.get("backends")
+        if not isinstance(backends, dict) or not all(
+            isinstance(v, str) and v for v in backends.values()
+        ):
+            fail(f"{path}:{lineno}: backends must map sections to names")
+        env = record.get("env")
+        if not isinstance(env, dict) or not env.get("python"):
+            fail(f"{path}:{lineno}: env fingerprint missing python version")
+        count += 1
+    if count == 0:
+        fail(f"{path}: no trajectory records")
+    return count
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", type=Path, help="trace JSONL file to validate")
@@ -130,8 +220,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--manifest-dir", type=Path, help="directory of *.manifest.json files"
     )
+    parser.add_argument(
+        "--profile", type=Path, help="repro.profile/1 report to validate"
+    )
+    parser.add_argument(
+        "--trajectory", type=Path, help="TRAJECTORY.jsonl store to validate"
+    )
     args = parser.parse_args(argv)
-    if not (args.trace or args.metrics or args.manifest_dir):
+    if not (
+        args.trace
+        or args.metrics
+        or args.manifest_dir
+        or args.profile
+        or args.trajectory
+    ):
         parser.error("nothing to validate")
 
     if args.trace:
@@ -147,6 +249,12 @@ def main(argv: list[str] | None = None) -> int:
         for path in manifests:
             validate_manifest(path)
         print(f"{args.manifest_dir}: {len(manifests)} manifests ok")
+    if args.profile:
+        validate_profile(args.profile)
+        print(f"{args.profile}: profile report ok")
+    if args.trajectory:
+        records = validate_trajectory(args.trajectory)
+        print(f"{args.trajectory}: {records} trajectory records ok")
     return 0
 
 

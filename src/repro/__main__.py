@@ -22,11 +22,20 @@ Observability (see ``docs/observability.md``)::
     python -m repro E1 --trace t.json --trace-format chrome   # Perfetto
     python -m repro E1 --metrics-out metrics.json # counters/gauges/histograms
     python -m repro E1 --out-dir out/             # E1.txt + E1.manifest.json
+
+Profiling collected runs (the ``obs`` subcommand family)::
+
+    python -m repro obs report --trace t.jsonl --metrics m.json
+                                                  # hottest kernels, dispatch
+                                                  # regimes, cache health
+    python -m repro obs diff runA.json runB.json  # metric deltas (A/B)
+    python -m repro obs flame t.jsonl -o out.folded   # collapsed stacks
 """
 
 from __future__ import annotations
 
 import argparse
+import atexit
 import inspect
 import json
 import sys
@@ -163,11 +172,33 @@ def _export_obs(args: argparse.Namespace) -> None:
             fh.write("\n")
 
 
+def _arm_atexit_export(args: argparse.Namespace) -> None:
+    """Best-effort trace export on abnormal exit while ``--trace`` is on.
+
+    The normal path (:func:`_export_obs`) disables the tracer right after
+    writing, so the handler fires only when the process dies before
+    reaching it (unhandled exception, ``sys.exit`` from a harness, ...) —
+    the partial trace lands at the requested path, open spans marked
+    ``unfinished``, instead of vanishing with the process."""
+
+    def _flush() -> None:
+        if not tracer.enabled:
+            return
+        try:
+            _export_obs(args)
+        except Exception:  # noqa: BLE001 - never mask the real exit reason
+            pass
+
+    atexit.register(_flush)
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI dispatch: ``sweep`` subcommand or the experiment runner."""
+    """CLI dispatch: ``sweep``/``obs`` subcommands or the experiment runner."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return _obs_main(argv[1:])
     return _experiments_main(argv)
 
 
@@ -217,6 +248,7 @@ def _experiments_main(argv: list[str]) -> int:
     if args.trace:
         tracer.enable()
         tracer.reset()
+        _arm_atexit_export(args)
 
     def kwargs_for(exp_id: str) -> dict:
         run = ALL_EXPERIMENTS[exp_id]
@@ -368,6 +400,7 @@ def _sweep_main(argv: list[str]) -> int:
     if args.trace:
         tracer.enable()
         tracer.reset()
+        _arm_atexit_export(args)
 
     from repro.runner import sweep
     from repro.runner.tasks import frequency_backlog_point
@@ -453,6 +486,298 @@ def _sweep_main(argv: list[str]) -> int:
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _load_json(path: str, parser: argparse.ArgumentParser) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        parser.error(f"cannot read {path}: {exc}")
+
+
+def _flatten_for_diff(doc: dict) -> dict[str, float]:
+    """Flatten any obs artifact into ``{metric key: numeric value}``.
+
+    Understands metrics snapshots (``repro.metrics/1`` — counters and
+    gauges keyed ``name{k=v,...}``, histograms as ``.count``/``.mean``),
+    run manifests (``repro.run-manifest/1`` — ``wall_time_s`` plus the
+    embedded snapshot), trajectory records (``repro.trajectory/1`` — the
+    ``metrics`` mapping as-is), and plain BENCH-style section documents.
+    """
+    from repro.obs.trajectory import flatten_bench
+
+    def series_key(entry: dict) -> str:
+        labels = ",".join(f"{k}={v}" for k, v in sorted(entry["labels"].items()))
+        return entry["name"] + ("{" + labels + "}" if labels else "")
+
+    def from_snapshot(snap: dict) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for entry in snap.get("counters", []) + snap.get("gauges", []):
+            out[series_key(entry)] = float(entry["value"])
+        for entry in snap.get("histograms", []):
+            key = series_key(entry)
+            out[key + ".count"] = float(entry["count"])
+            if entry["count"]:
+                out[key + ".mean"] = entry["sum"] / entry["count"]
+        return out
+
+    schema = doc.get("schema", "")
+    if schema == obs.METRICS_SCHEMA:
+        return from_snapshot(doc)
+    if schema == obs.MANIFEST_SCHEMA:
+        out = {}
+        if doc.get("wall_time_s") is not None:
+            out["wall_time_s"] = float(doc["wall_time_s"])
+        if isinstance(doc.get("metrics"), dict):
+            out.update(from_snapshot(doc["metrics"]))
+        return out
+    if schema == obs.TRAJECTORY_SCHEMA:
+        return {k: float(v) for k, v in doc.get("metrics", {}).items()}
+    metrics, _ = flatten_bench("bench", doc)
+    return metrics
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}" if value == int(value) else f"{value:.6g}"
+
+
+def _obs_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.util.report import TextTable
+
+    trace_records = obs.read_trace_jsonl(args.trace) if args.trace else None
+    snapshot = _load_json(args.metrics, parser) if args.metrics else None
+    if trace_records is None and snapshot is None:
+        parser.error("obs report needs --trace and/or --metrics")
+    if snapshot is not None and snapshot.get("schema") != obs.METRICS_SCHEMA:
+        parser.error(
+            f"{args.metrics}: not a {obs.METRICS_SCHEMA} snapshot "
+            f"(schema: {snapshot.get('schema')!r})"
+        )
+    report = obs.profile_report(trace_records, snapshot)
+    if args.json:
+        obs.write_profile(report, args.json)
+        print(f"profile report written to {args.json}")
+    if args.prometheus:
+        if snapshot is None:
+            parser.error("--prometheus needs --metrics")
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(obs.prometheus_text(snapshot))
+        print(f"prometheus exposition written to {args.prometheus}")
+
+    if trace_records is not None:
+        agg = report["trace"]
+        table = TextTable(
+            ["span", "calls", "self (s)", "total (s)", "max (s)"],
+            title=f"Hottest spans by self time "
+            f"({agg['span_count']} spans, {agg['total_self_s']:.3f}s self total)",
+        )
+        hottest = sorted(
+            agg["spans"].items(), key=lambda kv: kv[1]["self_s"], reverse=True
+        )
+        for name, row in hottest[: args.top]:
+            flag = f" ({row['unfinished']} unfinished)" if row["unfinished"] else ""
+            table.add_row(
+                [
+                    name + flag,
+                    str(row["calls"]),
+                    f"{row['self_s']:.4f}",
+                    f"{row['total_s']:.4f}",
+                    f"{row['max_s']:.4f}",
+                ]
+            )
+        print(table.render())
+        for title, group in (("backend", agg["backends"]), ("shape", agg["shapes"])):
+            if not group:
+                continue
+            sub = TextTable(
+                [title, "calls", "self (s)"], title=f"Self time by {title}"
+            )
+            for key, row in sorted(
+                group.items(), key=lambda kv: kv[1]["self_s"], reverse=True
+            ):
+                sub.add_row([key, str(row["calls"]), f"{row['self_s']:.4f}"])
+            print()
+            print(sub.render())
+
+    if snapshot is not None:
+        dispatch = report["dispatch"]
+        if trace_records is not None:
+            print()
+        table = TextTable(
+            ["op", "regime", "dispatches"], title="Kernel dispatch regimes"
+        )
+        total_dispatches = 0
+        for op, regimes in dispatch["regimes"].items():
+            for regime, count in regimes.items():
+                total_dispatches += count
+                table.add_row([op, regime, str(count)])
+        print(table.render())
+        cache = report["cache"]
+        print()
+        table = TextTable(["tier", "count"], title="Cache tiers")
+        for tier in ("memory", "disk", "miss"):
+            table.add_row([tier, str(cache[tier])])
+        print(table.render())
+        tiers_total = cache["memory"] + cache["disk"] + cache["miss"]
+        print(
+            f"lookups={cache['lookups']} hit_ratio={cache['hit_ratio']:.1%} "
+            f"bypasses={cache['bypasses']}"
+        )
+        memo = dispatch["memo"]
+        dispatch_ok = (
+            total_dispatches == memo["misses"] - cache["disk"]
+            if cache["disk"]
+            else total_dispatches == memo["misses"]
+        )
+        print(
+            f"consistency: memory+disk+miss = {tiers_total} "
+            f"{'==' if cache['consistent'] else '!='} {cache['lookups']} lookups; "
+            f"minplus dispatches = {total_dispatches} "
+            f"{'==' if dispatch_ok else '!='} "
+            f"{memo['misses']} minplus memo misses"
+            + (f" - {cache['disk']} disk promotions" if cache["disk"] else "")
+        )
+        batch = dispatch["batch"]
+        if batch["calls"]:
+            print(
+                f"batched convolutions: {batch['calls']} calls, "
+                f"{batch['fallbacks']} fallbacks "
+                f"({batch['fallback_rate']:.1%})"
+            )
+        if report["quantiles"]:
+            print()
+            table = TextTable(
+                ["histogram", "count", "mean", "p50", "p95", "p99"],
+                title="Histogram quantiles (bucket-interpolated)",
+            )
+            for entry in report["quantiles"]:
+                labels = ",".join(
+                    f"{k}={v}" for k, v in entry["labels"].items()
+                )
+                name = entry["name"] + ("{" + labels + "}" if labels else "")
+                qs = entry["quantiles"]
+                table.add_row(
+                    [
+                        name,
+                        str(entry["count"]),
+                        _fmt(entry["mean"]),
+                        _fmt(qs["p50"]),
+                        _fmt(qs["p95"]),
+                        _fmt(qs["p99"]),
+                    ]
+                )
+            print(table.render())
+    return 0
+
+
+def _obs_diff(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    from repro.util.report import TextTable
+
+    a = _flatten_for_diff(_load_json(args.run_a, parser))
+    b = _flatten_for_diff(_load_json(args.run_b, parser))
+    keys = sorted(set(a) | set(b))
+    table = TextTable(
+        ["metric", "A", "B", "delta", "ratio"],
+        title=f"obs diff: A={args.run_a}  B={args.run_b}",
+    )
+    shown = 0
+    for key in keys:
+        va, vb = a.get(key), b.get(key)
+        if va is None or vb is None:
+            if args.all:
+                table.add_row(
+                    [
+                        key,
+                        "-" if va is None else _fmt(va),
+                        "-" if vb is None else _fmt(vb),
+                        "-",
+                        "-",
+                    ]
+                )
+                shown += 1
+            continue
+        delta = vb - va
+        if not args.all and delta == 0:
+            continue
+        ratio = f"{vb / va:.3f}x" if va else "-"
+        table.add_row([key, _fmt(va), _fmt(vb), f"{delta:+g}", ratio])
+        shown += 1
+    print(table.render())
+    if not shown:
+        print("(no differing metrics)")
+    return 0
+
+
+def _obs_flame(args: argparse.Namespace, parser: argparse.ArgumentParser) -> int:
+    records = obs.read_trace_jsonl(args.trace)
+    if args.out:
+        count = obs.write_collapsed(records, args.out)
+        print(f"{count} stacks written to {args.out}")
+    else:
+        for stack, micros in obs.collapsed_stacks(records).items():
+            print(f"{stack} {micros}")
+    return 0
+
+
+def _obs_main(argv: list[str]) -> int:
+    """The ``obs`` subcommand family: profile collected runs."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro obs",
+        description="Profile collected traces and metrics: aggregate "
+        "reports, A/B diffs, and flamegraph-compatible collapsed stacks "
+        "(see docs/observability.md).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report",
+        help="hottest kernels, dispatch regimes, cache tiers, quantiles",
+    )
+    report.add_argument(
+        "--trace", metavar="PATH", default=None, help="span trace (JSONL)"
+    )
+    report.add_argument(
+        "--metrics", metavar="PATH", default=None, help="metrics snapshot (JSON)"
+    )
+    report.add_argument(
+        "--top", type=int, default=15, help="span rows to show (default: 15)"
+    )
+    report.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="also write the full repro.profile/1 report to PATH",
+    )
+    report.add_argument(
+        "--prometheus", metavar="PATH", default=None,
+        help="also write the metrics in Prometheus text format to PATH",
+    )
+
+    diff = sub.add_parser(
+        "diff", help="metric deltas between two runs (snapshots, manifests, "
+        "trajectory records, or BENCH files)"
+    )
+    diff.add_argument("run_a", help="baseline artifact (JSON)")
+    diff.add_argument("run_b", help="comparison artifact (JSON)")
+    diff.add_argument(
+        "--all", action="store_true",
+        help="show unchanged and one-sided metrics too",
+    )
+
+    flame = sub.add_parser(
+        "flame", help="collapsed stacks (flamegraph.pl / speedscope input)"
+    )
+    flame.add_argument("trace", help="span trace (JSONL)")
+    flame.add_argument(
+        "-o", "--out", metavar="PATH", default=None,
+        help="write to PATH instead of stdout",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        return _obs_report(args, parser)
+    if args.command == "diff":
+        return _obs_diff(args, parser)
+    return _obs_flame(args, parser)
 
 
 if __name__ == "__main__":

@@ -75,6 +75,7 @@ import math
 import numpy as np
 
 from repro.curves.curve import EPS_REL, PiecewiseLinearCurve
+from repro.obs.metrics import counter
 from repro.perf.cache import kernel_cache
 from repro.perf.instrument import instrumented
 from repro.util.validation import ValidationError
@@ -394,15 +395,25 @@ def _convolve_key(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> tuple:
     return key
 
 
+def _count_dispatch(op: str, regime: str) -> None:
+    """Count one cache-missed dispatch decision (``minplus.dispatch``
+    with ``op``/``regime`` labels) — cache hits never reach a dispatcher,
+    so summing the regimes of an op yields exactly its computed calls."""
+    counter("minplus.dispatch", op=op, regime=regime).inc()
+
+
 def _convolve_dispatch(
     f: PiecewiseLinearCurve, g: PiecewiseLinearCurve
 ) -> PiecewiseLinearCurve:
     if f.is_convex and g.is_convex:
+        _count_dispatch("convolve", "convex_fast")
         return _convolve_convex(f, g)
     if f.is_concave and g.is_concave:
+        _count_dispatch("convolve", "concave_fast")
         return _convolve_concave(f, g)
     from repro.curves.backends import active_backend
 
+    _count_dispatch("convolve", "generic")
     return active_backend().convolve(f, g)
 
 
@@ -419,8 +430,16 @@ def convolve_generic(
 
 
 def _pair_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
-    """Span attributes of a binary curve kernel (only built while tracing)."""
-    return {"f_segments": int(f.breakpoints.size), "g_segments": int(g.breakpoints.size)}
+    """Span attributes of a binary curve kernel (only built while tracing).
+
+    ``shape`` carries the operands' structure classification pair so the
+    profiler (:mod:`repro.obs.profile`) can break kernel self-time down
+    by shape class without re-classifying anything."""
+    return {
+        "f_segments": int(f.breakpoints.size),
+        "g_segments": int(g.breakpoints.size),
+        "shape": f.shape + "|" + g.shape,
+    }
 
 
 def _generic_attrs(f: PiecewiseLinearCurve, g: PiecewiseLinearCurve) -> dict:
@@ -622,9 +641,11 @@ def _deconvolve_dispatch(
     # admitted by deconvolve()'s tolerant divergence check falls back to
     # the generic construction
     if f.is_concave and g.is_convex and f.final_slope <= g.final_slope:
+        _count_dispatch("deconvolve", "concave_convex_fast")
         return _deconvolve_concave_convex(f, g)
     from repro.curves.backends import active_backend
 
+    _count_dispatch("deconvolve", "generic")
     return active_backend().deconvolve(f, g)
 
 

@@ -1,6 +1,6 @@
 """repro.obs — dependency-free observability: tracing, metrics, manifests.
 
-The three pillars (see ``docs/observability.md``):
+The pillars (see ``docs/observability.md``):
 
 * :mod:`repro.obs.tracing` — nestable :func:`span` context managers with
   monotonic timings, a JSONL exporter, and a Chrome ``trace_event``
@@ -10,7 +10,14 @@ The three pillars (see ``docs/observability.md``):
   instrumentation and the kernel memo cache report through it;
 * :mod:`repro.obs.manifest` — per-run manifests binding an experiment's
   outputs to its parameters, input content digests, seed, version, and
-  metrics snapshot.
+  metrics snapshot;
+* :mod:`repro.obs.profile` — after-the-fact aggregation of collected
+  spans and metrics into self-time / dispatch / cache-tier breakdowns,
+  collapsed flamegraph stacks, interpolated histogram quantiles, and
+  Prometheus text exposition (the ``obs report``/``flame`` CLI);
+* :mod:`repro.obs.trajectory` — the append-only benchmark trajectory
+  store (``benchmarks/TRAJECTORY.jsonl``) with a rolling-median
+  regression gate (``scripts/check_trajectory.py``).
 
 Everything here is standard-library only and imports nothing from the
 rest of the package, so any layer — kernels, simulators, experiment
@@ -53,7 +60,32 @@ from repro.obs.metrics import (
     histogram,
     registry,
 )
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    aggregate_spans,
+    cache_tiers,
+    collapsed_stacks,
+    dispatch_breakdown,
+    histogram_quantile,
+    histogram_quantiles,
+    profile_report,
+    prometheus_text,
+    read_trace_jsonl,
+    write_collapsed,
+    write_profile,
+)
 from repro.obs.tracing import TRACE_SCHEMA, Span, Tracer, span, tracer
+from repro.obs.trajectory import (
+    TRAJECTORY_PATH,
+    TRAJECTORY_SCHEMA,
+    append_record,
+    build_record,
+    check_records,
+    env_fingerprint,
+    flatten_bench,
+    metric_direction,
+    read_records,
+)
 
 __all__ = [
     # tracing
@@ -83,4 +115,27 @@ __all__ = [
     "record_input",
     "stable_view",
     "write_manifest",
+    # profiling
+    "PROFILE_SCHEMA",
+    "aggregate_spans",
+    "cache_tiers",
+    "collapsed_stacks",
+    "dispatch_breakdown",
+    "histogram_quantile",
+    "histogram_quantiles",
+    "profile_report",
+    "prometheus_text",
+    "read_trace_jsonl",
+    "write_collapsed",
+    "write_profile",
+    # trajectory
+    "TRAJECTORY_PATH",
+    "TRAJECTORY_SCHEMA",
+    "append_record",
+    "build_record",
+    "check_records",
+    "env_fingerprint",
+    "flatten_bench",
+    "metric_direction",
+    "read_records",
 ]

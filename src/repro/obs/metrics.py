@@ -62,7 +62,9 @@ class _Metric:
         self._lock = threading.Lock()
 
     def _header(self) -> dict[str, Any]:
-        return {"name": self.name, "labels": dict(self.labels)}
+        # labels are emitted key-sorted so serialized snapshots are
+        # byte-stable regardless of the call site's keyword order
+        return {"name": self.name, "labels": dict(sorted(self.labels.items()))}
 
 
 class Counter(_Metric):
@@ -232,7 +234,22 @@ class Histogram(_Metric):
 
 
 def _label_key(labels: dict[str, Any]) -> tuple:
+    # identity key: keys are unique within one dict, so this sort never
+    # compares two label *values* and is safe for mixed value types
     return tuple(sorted(labels.items()))
+
+
+def _sort_key(metric: "_Metric") -> tuple:
+    """Deterministic total order over series: name, then label keys, then
+    label values compared as ``(type name, str)`` pairs — well-defined even
+    when two series label the same key with values of different types
+    (e.g. ``op=1`` vs ``op="a"``), where a plain tuple sort would raise."""
+    return (
+        metric.name,
+        tuple(
+            (k, type(v).__name__, str(v)) for k, v in sorted(metric.labels.items())
+        ),
+    )
 
 
 class MetricsRegistry:
@@ -293,7 +310,7 @@ class MetricsRegistry:
         """All series registered under *name*, label-order sorted."""
         with self._lock:
             found = [m for (n, _), m in self._series.items() if n == name]
-        return sorted(found, key=lambda m: _label_key(m.labels))
+        return sorted(found, key=_sort_key)
 
     # -- merging -----------------------------------------------------------------
     def merge_snapshot(self, snapshot: dict[str, Any], **extra_labels: Any) -> None:
@@ -333,15 +350,20 @@ class MetricsRegistry:
 
     # -- snapshot / reset --------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
-        """Everything as a JSON-able dict (schema ``repro.metrics/1``)."""
+        """Everything as a JSON-able dict (schema ``repro.metrics/1``).
+
+        Series are emitted in a deterministic order (name, then label
+        key/value pairs) and each entry's ``labels`` dict is key-sorted,
+        so two snapshots of identical state serialize byte-identically
+        across runs and Python hash randomization — the property
+        ``obs diff`` and the golden-manifest tests rely on.
+        """
         with self._lock:
             collectors = list(self._collectors)
         for collect in collectors:
             collect(self)
         with self._lock:
-            series = sorted(
-                self._series.values(), key=lambda m: (m.name, _label_key(m.labels))
-            )
+            series = sorted(self._series.values(), key=_sort_key)
         out: dict[str, Any] = {
             "schema": METRICS_SCHEMA,
             "counters": [],

@@ -12,7 +12,10 @@ Exports:
   ``{"name", "ts", "dur", "id", "parent", "thread", "attrs"}`` with ``ts``
   and ``dur`` in seconds relative to the trace epoch.  Children are
   written before their parents (a span is recorded when it *closes*), so
-  consumers must join on ``parent``/``id``, not on file order.
+  consumers must join on ``parent``/``id``, not on file order.  Spans
+  still open at export time are flushed with ``"unfinished": true``
+  (duration measured up to the export) instead of silently dropped —
+  this is how a worker killed mid-task still shows where it was stuck.
 * **Chrome ``trace_event``** — :meth:`Tracer.chrome_trace` converts the
   collected spans into the JSON object format understood by
   ``about:tracing`` and `Perfetto <https://ui.perfetto.dev>`_
@@ -104,6 +107,7 @@ class Tracer:
         self.max_spans = int(max_spans)
         self.dropped = 0
         self._records: list[dict[str, Any]] = []
+        self._open: dict[int, Span] = {}
         self._lock = threading.Lock()
         self._local = threading.local()
         self._epoch = time.perf_counter()
@@ -126,6 +130,7 @@ class Tracer:
         """Drop all collected spans and restart the trace epoch."""
         with self._lock:
             self._records.clear()
+            self._open.clear()
             self.dropped = 0
             self._epoch = time.perf_counter()
             self._next_id = 0
@@ -145,23 +150,30 @@ class Tracer:
             yield _NOOP
             return
         stack = self._stack()
-        with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
         handle = Span(
             name,
             dict(attrs),
-            span_id,
+            0,
             stack[-1] if stack else None,
             threading.get_ident(),
             time.perf_counter(),
         )
-        stack.append(span_id)
+        with self._lock:
+            handle.span_id = self._next_id
+            self._next_id += 1
+            self._open[handle.span_id] = handle
+        stack.append(handle.span_id)
         try:
             yield handle
         finally:
             end = time.perf_counter()
-            stack.pop()
+            # normally a plain pop of our own id; the guard keeps a close
+            # after forget_thread() (fork child exiting an inherited span)
+            # from popping someone else's frame
+            if stack and stack[-1] == handle.span_id:
+                stack.pop()
+            elif handle.span_id in stack:
+                stack.remove(handle.span_id)
             record = {
                 "name": handle.name,
                 "ts": handle._t0 - self._epoch,
@@ -172,6 +184,7 @@ class Tracer:
                 "attrs": handle.attrs,
             }
             with self._lock:
+                self._open.pop(handle.span_id, None)
                 if len(self._records) < self.max_spans:
                     self._records.append(record)
                 else:
@@ -194,8 +207,15 @@ class Tracer:
         Needed in forked worker processes: the fork child inherits the
         parent thread's stack, but the spans on it belong to ``with``
         blocks that will never exit in the child, so keeping them would
-        silently mis-parent every span the worker opens."""
-        self._stack().clear()
+        silently mis-parent every span the worker opens.  The inherited
+        open-span handles are dropped with the stack — they would
+        otherwise be flushed as phantom ``unfinished`` spans of a trace
+        the child never recorded."""
+        stack = self._stack()
+        with self._lock:
+            for span_id in stack:
+                self._open.pop(span_id, None)
+        stack.clear()
 
     # -- merging -----------------------------------------------------------------
     def ingest(
@@ -240,15 +260,39 @@ class Tracer:
         return ingested
 
     # -- export ------------------------------------------------------------------
-    def records(self) -> list[dict[str, Any]]:
-        """Copy of the collected span records (close order)."""
+    def records(self, *, include_open: bool = False) -> list[dict[str, Any]]:
+        """Copy of the collected span records (close order).
+
+        With ``include_open=True``, spans still open at call time are
+        appended as synthetic records marked ``"unfinished": true`` with
+        their duration measured up to now — so a trace exported while work
+        is in flight (or cut short by a crash/timeout) shows *where* the
+        time was going instead of silently dropping the open stack.
+        """
+        now = time.perf_counter()
         with self._lock:
-            return [dict(r) for r in self._records]
+            out = [dict(r) for r in self._records]
+            open_spans = list(self._open.values()) if include_open else []
+        for handle in open_spans:
+            out.append(
+                {
+                    "name": handle.name,
+                    "ts": handle._t0 - self._epoch,
+                    "dur": now - handle._t0,
+                    "id": handle.span_id,
+                    "parent": handle.parent_id,
+                    "thread": handle.thread_id,
+                    "attrs": dict(handle.attrs),
+                    "unfinished": True,
+                }
+            )
+        return out
 
     def export_jsonl(self, path: str | os.PathLike) -> int:
         """Write one span per line (schema ``repro.trace/1``); returns the
-        number of spans written."""
-        records = self.records()
+        number of spans written.  Spans still open are flushed with an
+        explicit ``"unfinished": true`` marker rather than dropped."""
+        records = self.records(include_open=True)
         with open(path, "w", encoding="utf-8") as fh:
             for record in records:
                 fh.write(json.dumps(record, sort_keys=True, default=str))
@@ -271,9 +315,13 @@ class Tracer:
                 "dur": r["dur"] * 1e6,
                 "pid": pid,
                 "tid": r["thread"],
-                "args": r["attrs"],
+                "args": (
+                    {**r["attrs"], "unfinished": True}
+                    if r.get("unfinished")
+                    else r["attrs"]
+                ),
             }
-            for r in self.records()
+            for r in self.records(include_open=True)
         ]
         return {
             "traceEvents": events,

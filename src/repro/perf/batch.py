@@ -78,6 +78,11 @@ def convolve_many(pairs: Sequence[_Pair], **budget) -> list[PiecewiseLinearCurve
             if not partition:
                 continue
             operands = [pairs[i] for _, i in partition]
+            # batch-computed pairs never reach _convolve_dispatch, so the
+            # dispatch accounting meters them here under their own regime
+            _metrics.counter(
+                "minplus.dispatch", op="convolve", regime="batch"
+            ).inc(len(partition))
             try:
                 outs = backend.convolve_batch(operands)
             except ValidationError:

@@ -250,7 +250,9 @@ def _run_chunk(
         "results": outcomes,
         "pid": os.getpid(),
         "metrics": registry.snapshot(),
-        "trace": tracer.records() if collect_trace else [],
+        # include_open: a task cut short by a timeout still shows where its
+        # time went — open spans flush marked ``unfinished: true``
+        "trace": tracer.records(include_open=True) if collect_trace else [],
     }
     if collect_trace:
         tracer.disable()

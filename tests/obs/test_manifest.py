@@ -9,6 +9,7 @@ from repro.obs.manifest import (
     TIMING_FIELDS,
     build_manifest,
     collecting_inputs,
+    combine_manifests,
     digest_json,
     record_input,
     stable_view,
@@ -99,3 +100,90 @@ class TestBuildManifest:
         path = tmp_path / "E1.manifest.json"
         write_manifest(manifest, path)
         assert json.loads(path.read_text()) == manifest
+
+
+class TestCombineManifests:
+    def child(self, exp_id, *, inputs=None, data_digest="dd", seed=None):
+        return build_manifest(
+            experiment_id=exp_id,
+            inputs=inputs or {},
+            seed=seed,
+            data_digest=data_digest,
+        )
+
+    def test_empty_children_still_yields_valid_manifest(self):
+        combined = combine_manifests([], experiment_id="PARALLEL")
+        assert combined["schema"] == MANIFEST_SCHEMA
+        assert combined["children"] == []
+        assert combined["inputs"] == {}
+        assert combined["data_digest"] == digest_json([])
+        json.dumps(combined)
+
+    def test_inputs_union_without_conflicts(self):
+        combined = combine_manifests(
+            [
+                self.child("E1", inputs={"ctx": "aa"}),
+                self.child("E2", inputs={"trace": "bb"}),
+            ],
+            experiment_id="PARALLEL",
+        )
+        assert combined["inputs"] == {"ctx": "aa", "trace": "bb"}
+
+    def test_conflicting_digest_qualified_with_child_id(self):
+        combined = combine_manifests(
+            [
+                self.child("E1", inputs={"ctx": "aa"}),
+                self.child("E2", inputs={"ctx": "bb"}),
+            ],
+            experiment_id="PARALLEL",
+        )
+        assert combined["inputs"] == {"ctx": "aa", "ctx[E2]": "bb"}
+
+    def test_same_digest_shared_name_not_qualified(self):
+        combined = combine_manifests(
+            [
+                self.child("E1", inputs={"ctx": "aa"}),
+                self.child("E2", inputs={"ctx": "aa"}),
+            ],
+            experiment_id="PARALLEL",
+        )
+        assert combined["inputs"] == {"ctx": "aa"}
+
+    def test_children_summaries_sorted_by_experiment_id(self):
+        combined = combine_manifests(
+            [
+                self.child("E9", seed=9, data_digest="d9"),
+                self.child("E1", seed=1, data_digest="d1"),
+            ],
+            experiment_id="PARALLEL",
+        )
+        assert [c["experiment_id"] for c in combined["children"]] == ["E1", "E9"]
+        assert combined["children"][0] == {
+            "experiment_id": "E1",
+            "data_digest": "d1",
+            "seed": 1,
+        }
+
+    def test_combined_digest_independent_of_child_order(self):
+        children = [self.child("E1", data_digest="d1"), self.child("E2", data_digest="d2")]
+        a = combine_manifests(children, experiment_id="P")
+        b = combine_manifests(list(reversed(children)), experiment_id="P")
+        assert a["data_digest"] == b["data_digest"]
+
+    def test_combined_digest_tracks_child_digests(self):
+        a = combine_manifests(
+            [self.child("E1", data_digest="d1")], experiment_id="P"
+        )
+        b = combine_manifests(
+            [self.child("E1", data_digest="d2")], experiment_id="P"
+        )
+        assert a["data_digest"] != b["data_digest"]
+
+    def test_child_missing_optional_keys(self):
+        # a degraded child (e.g. deserialized from an old version) with no
+        # inputs/seed keys must not break the fold
+        bare = {"experiment_id": "E1", "data_digest": "dd"}
+        combined = combine_manifests([bare], experiment_id="P")
+        assert combined["children"] == [
+            {"experiment_id": "E1", "data_digest": "dd", "seed": None}
+        ]

@@ -142,3 +142,98 @@ class TestRegistry:
         reg.counter("n").inc()
         reg.clear()
         assert len(reg) == 0
+
+
+class TestDeterministicOrdering:
+    def _populate(self, reg, order):
+        for op in order:
+            reg.counter("minplus.dispatch", op=op, regime="generic").inc()
+        reg.counter("cache.hits").inc()
+        reg.gauge("depth", queue="b").set(1)
+        reg.gauge("depth", queue="a").set(2)
+
+    def test_insertion_order_is_irrelevant(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        self._populate(a, ["convolve", "deconvolve"])
+        self._populate(b, ["deconvolve", "convolve"])
+        assert json.dumps(a.snapshot(), sort_keys=True) == json.dumps(
+            b.snapshot(), sort_keys=True
+        )
+
+    def test_series_sorted_by_name_then_labels(self, reg):
+        reg.counter("z").inc()
+        reg.counter("a", op="y").inc()
+        reg.counter("a", op="x").inc()
+        snap = reg.snapshot()
+        assert [(c["name"], c["labels"].get("op")) for c in snap["counters"]] == [
+            ("a", "x"),
+            ("a", "y"),
+            ("z", None),
+        ]
+
+    def test_header_labels_key_sorted(self, reg):
+        reg.counter("c", zeta=1, alpha=2).inc()
+        (entry,) = reg.snapshot()["counters"]
+        assert list(entry["labels"]) == ["alpha", "zeta"]
+
+    def test_mixed_type_label_values_do_not_raise(self, reg):
+        # ('op', 1) < ('op', 'a') raises TypeError under a naive tuple sort
+        reg.counter("c", op=1).inc()
+        reg.counter("c", op="a").inc()
+        reg.counter("c", op=1.5).inc()
+        snap = reg.snapshot()
+        assert len(snap["counters"]) == 3
+        assert json.dumps(snap)  # serializable, deterministic
+
+    def test_snapshot_byte_stable_across_calls(self, reg):
+        self._populate(reg, ["convolve", "deconvolve"])
+        reg.histogram("lat", buckets=(0.1, 1.0)).observe(0.5)
+        first = json.dumps(reg.snapshot(), sort_keys=True)
+        second = json.dumps(reg.snapshot(), sort_keys=True)
+        assert first == second
+
+
+class TestHistogramMerge:
+    def test_merge_accumulates(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        other = MetricsRegistry()
+        oh = other.histogram("lat", buckets=(1.0, 2.0))
+        oh.observe(1.5)
+        oh.observe(5.0)
+        (entry,) = other.snapshot()["histograms"]
+        h.merge(entry)
+        (merged,) = reg.snapshot()["histograms"]
+        assert merged["count"] == 3
+        assert merged["counts"] == [1, 1, 1]
+        assert merged["min"] == 0.5
+        assert merged["max"] == 5.0
+
+    def test_mismatched_bucket_layout_raises_and_preserves(self, reg):
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        other = MetricsRegistry()
+        oh = other.histogram("lat", buckets=(1.0, 4.0))
+        oh.observe(3.0)
+        (entry,) = other.snapshot()["histograms"]
+        with pytest.raises(ValueError, match="mismatched buckets"):
+            h.merge(entry)
+        # the failed merge must not have corrupted the target
+        (unchanged,) = reg.snapshot()["histograms"]
+        assert unchanged["count"] == 1
+        assert unchanged["counts"] == [1, 0, 0]
+
+    def test_merge_snapshot_rejects_unknown_schema(self, reg):
+        with pytest.raises(ValueError, match="schema"):
+            reg.merge_snapshot({"schema": "something/else"})
+
+    def test_merge_snapshot_with_origin_label_keeps_series_distinct(self, reg):
+        reg.counter("cache.hits").inc(5)
+        worker = MetricsRegistry()
+        worker.counter("cache.hits").inc(3)
+        reg.merge_snapshot(worker.snapshot(), origin="worker")
+        values = {
+            (c["labels"].get("origin")): c["value"]
+            for c in reg.snapshot()["counters"]
+        }
+        assert values == {None: 5, "worker": 3}

@@ -137,3 +137,121 @@ class TestExport:
         loaded = json.loads(path.read_text())
         assert loaded["displayTimeUnit"] == "ms"
         assert len(loaded["traceEvents"]) == 1
+
+
+class TestUnfinishedSpans:
+    def test_records_excludes_open_spans_by_default(self, t):
+        with t.span("open"):
+            assert t.records() == []
+
+    def test_include_open_marks_unfinished(self, t):
+        with t.span("outer"):
+            with t.span("inner"):
+                records = t.records(include_open=True)
+        by_name = {r["name"]: r for r in records}
+        assert by_name["outer"]["unfinished"] is True
+        assert by_name["inner"]["unfinished"] is True
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["inner"]["dur"] >= 0
+        # closed normally afterwards: the final records carry no marker
+        final = t.records()
+        assert len(final) == 2
+        assert all("unfinished" not in r for r in final)
+
+    def test_export_jsonl_flushes_open_spans(self, t, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with t.span("closed"):
+            pass
+        with t.span("stuck", task=3):
+            assert t.export_jsonl(path) == 2
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        by_name = {r["name"]: r for r in records}
+        assert "unfinished" not in by_name["closed"]
+        assert by_name["stuck"]["unfinished"] is True
+        assert by_name["stuck"]["attrs"] == {"task": 3}
+
+    def test_chrome_trace_folds_marker_into_args(self, t):
+        with t.span("stuck", worker=1):
+            (event,) = t.chrome_trace()["traceEvents"]
+        assert event["args"] == {"worker": 1, "unfinished": True}
+
+    def test_snapshot_does_not_mutate_open_span(self, t):
+        with t.span("open") as span:
+            first = t.records(include_open=True)
+            span.set("late", True)
+        (record,) = t.records()
+        assert record["attrs"] == {"late": True}
+        assert first[0]["attrs"] == {}
+
+    def test_reset_drops_open_spans(self, t):
+        with t.span("doomed"):
+            t.reset()
+            assert t.records(include_open=True) == []
+
+    def test_forget_thread_drops_inherited_open_spans(self, t):
+        # simulates a forked worker inheriting the parent's open stack
+        with t.span("parent-side"):
+            t.forget_thread()
+            assert t.records(include_open=True) == []
+
+
+class TestIngest:
+    def test_empty_worker_snapshot_is_noop(self, t):
+        assert t.ingest([]) == 0
+        assert t.records() == []
+
+    def test_disabled_tracer_ignores_records(self):
+        fresh = Tracer()
+        assert fresh.ingest([{"id": 0, "parent": None, "ts": 0.0}]) == 0
+
+    def test_duplicate_span_ids_across_two_workers_stay_distinct(self, t):
+        worker = [
+            {"name": "task", "ts": 0.0, "dur": 1.0, "id": 0, "parent": None,
+             "thread": 1, "attrs": {}},
+            {"name": "sub", "ts": 0.1, "dur": 0.5, "id": 1, "parent": 0,
+             "thread": 1, "attrs": {}},
+        ]
+        assert t.ingest(worker, extra_attrs={"worker": 1}) == 2
+        assert t.ingest(worker, extra_attrs={"worker": 2}) == 2
+        records = t.records()
+        assert len({r["id"] for r in records}) == 4
+        # each sub still parents onto its own worker's task span
+        for sub in (r for r in records if r["name"] == "sub"):
+            (task,) = [
+                r for r in records
+                if r["name"] == "task"
+                and r["attrs"]["worker"] == sub["attrs"]["worker"]
+            ]
+            assert sub["parent"] == task["id"]
+
+    def test_negative_ts_shift_clamps_at_zero(self, t):
+        # worker clock behind the parent epoch: ts must not go negative
+        worker = [
+            {"name": "early", "ts": 0.05, "dur": 0.01, "id": 0, "parent": None,
+             "thread": 1, "attrs": {}},
+            {"name": "later", "ts": 5.0, "dur": 0.01, "id": 1, "parent": None,
+             "thread": 1, "attrs": {}},
+        ]
+        assert t.ingest(worker, ts_offset=-1.0) == 2
+        by_name = {r["name"]: r for r in t.records()}
+        assert by_name["early"]["ts"] == 0.0
+        assert by_name["later"]["ts"] == pytest.approx(4.0)
+
+    def test_roots_reparent_onto_local_span(self, t):
+        worker = [
+            {"name": "task", "ts": 0.0, "dur": 1.0, "id": 0, "parent": None,
+             "thread": 1, "attrs": {}},
+        ]
+        with t.span("chunk") as chunk:
+            t.ingest(worker, parent_id=t.current_span_id())
+        by_name = {r["name"]: r for r in t.records()}
+        assert by_name["task"]["parent"] == chunk.span_id
+
+    def test_unfinished_worker_records_survive_ingest(self, t):
+        worker = [
+            {"name": "stuck", "ts": 0.0, "dur": 0.2, "id": 0, "parent": None,
+             "thread": 1, "attrs": {}, "unfinished": True},
+        ]
+        assert t.ingest(worker) == 1
+        (record,) = t.records()
+        assert record["unfinished"] is True

@@ -159,3 +159,93 @@ class TestSweepCli:
             main(["sweep", "--buffers", "810,nope"])
         assert excinfo.value.code != 0
         assert "--buffers" in capsys.readouterr().err
+
+
+class TestObsCli:
+    @pytest.fixture
+    def run_artifacts(self, tmp_path, capsys):
+        """A trace + metrics pair from a real E1 run."""
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        assert main(["E1", "--trace", str(trace), "--metrics-out", str(metrics)]) == 0
+        capsys.readouterr()  # drop the experiment output
+        return trace, metrics
+
+    def test_report_renders_all_sections(self, capsys, run_artifacts):
+        trace, metrics = run_artifacts
+        assert main(["obs", "report", "--trace", str(trace),
+                     "--metrics", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "Hottest spans by self time" in out
+        assert "Kernel dispatch regimes" in out
+        assert "Cache tiers" in out
+        assert "consistency:" in out and "!=" not in out
+
+    def test_report_json_export_is_valid_profile(self, capsys, run_artifacts, tmp_path):
+        trace, metrics = run_artifacts
+        out_path = tmp_path / "profile.json"
+        assert main(["obs", "report", "--trace", str(trace),
+                     "--metrics", str(metrics), "--json", str(out_path)]) == 0
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro.profile/1"
+        assert report["trace"]["span_count"] > 0
+        cache = report["cache"]
+        assert cache["memory"] + cache["disk"] + cache["miss"] == cache["lookups"]
+
+    def test_report_prometheus_export(self, capsys, run_artifacts, tmp_path):
+        _, metrics = run_artifacts
+        prom = tmp_path / "metrics.prom"
+        assert main(["obs", "report", "--metrics", str(metrics),
+                     "--prometheus", str(prom)]) == 0
+        text = prom.read_text()
+        assert "# TYPE" in text
+        assert "_total" in text  # counters carry the Prometheus suffix
+
+    def test_report_requires_an_input(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "report"])
+        assert excinfo.value.code != 0
+        assert "--trace and/or --metrics" in capsys.readouterr().err
+
+    def test_report_rejects_wrong_schema(self, capsys, tmp_path):
+        bad = tmp_path / "not_metrics.json"
+        bad.write_text('{"schema": "something/else"}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "report", "--metrics", str(bad)])
+        assert excinfo.value.code != 0
+        assert "not a repro.metrics/1 snapshot" in capsys.readouterr().err
+
+    def test_diff_two_snapshots(self, capsys, run_artifacts, tmp_path):
+        _, metrics = run_artifacts
+        doctored = json.loads(metrics.read_text())
+        for counter in doctored["counters"]:
+            counter["value"] *= 2
+        other = tmp_path / "metrics2.json"
+        other.write_text(json.dumps(doctored))
+        assert main(["obs", "diff", str(metrics), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "obs diff:" in out
+        assert "2.000x" in out
+
+    def test_diff_identical_runs_report_no_differences(self, capsys, run_artifacts):
+        _, metrics = run_artifacts
+        assert main(["obs", "diff", str(metrics), str(metrics)]) == 0
+        assert "(no differing metrics)" in capsys.readouterr().out
+
+    def test_flame_stdout_and_file(self, capsys, run_artifacts, tmp_path):
+        trace, _ = run_artifacts
+        assert main(["obs", "flame", str(trace)]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines
+        for line in lines:
+            stack, _, micros = line.rpartition(" ")
+            assert stack and int(micros) > 0
+        dest = tmp_path / "stacks.txt"
+        assert main(["obs", "flame", str(trace), "-o", str(dest)]) == 0
+        assert dest.read_text().splitlines()
+
+    def test_obs_requires_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs"])
+        assert excinfo.value.code != 0
