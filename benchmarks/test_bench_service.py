@@ -1,0 +1,265 @@
+"""Benchmark gates for the analysis service layer.
+
+Three acceptance gates, all written to ``BENCH_service.json``:
+
+* **warm evaluator pool** — answering a frequency query against a warm
+  :class:`~repro.service.evalpool.EvaluatorPool` entry must be at least
+  3x faster than the cold path (context build + candidate-window
+  hoisting). This is the economics of the service: the first query of a
+  parameterization pays, every later one rides.
+* **sharded cache throughput** — concurrent writers into an
+  eviction-pressured 8-shard :class:`~repro.perf.diskcache.DiskCache`
+  must sustain at least 2x the put throughput of the single-directory
+  layout, because writes and eviction scans serialize per shard instead
+  of globally.
+* **admission control under overload** — a synthetic request storm past
+  an :class:`~repro.service.daemon.AnalysisService` with eq. (8)
+  admission must shed load (nonzero rejections, visible in the
+  ``service.rejected`` counters and the ``obs report`` service section)
+  while a feasible trickle is fully accepted.
+"""
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.obs.metrics import registry
+from repro.obs.profile import service_breakdown
+from repro.perf.diskcache import DiskCache
+from repro.service.admission import AdmissionController
+from repro.service.daemon import AnalysisService
+
+BENCH_PATH = Path(__file__).parent / "BENCH_service.json"
+
+#: Warm-pool gate shape: cold rebuilds vs warm queries of one sweep point.
+COLD_BUILDS = 3
+WARM_QUERIES = 25
+WARM_SPEEDUP_GATE = 3.0
+
+#: Sharded-cache gate shape: concurrent writers under eviction pressure.
+CACHE_THREADS = 4
+PUTS_PER_THREAD = 250
+PAYLOAD_BYTES = 4096
+CACHE_SHARDS = 8
+SHARD_SPEEDUP_GATE = 2.0
+
+#: Admission gate shape: offered load far past the configured capacity.
+STORM_REQUESTS = 120
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    report = {}
+    if BENCH_PATH.exists():
+        report = json.loads(BENCH_PATH.read_text())
+    report[section] = payload
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def test_warm_evaluator_pool_speedup_gate():
+    """Warm pool hits must be >= 3x faster than cold evaluator builds."""
+    from repro.experiments import common
+
+    params = dict(frames=12, dense_limit=512, growth=1.05)
+    frequency = 500e6
+
+    def query():
+        evaluator = common.sweep_frequency_evaluator(**params)
+        return evaluator.verify(810, frequency)
+
+    def go_cold():
+        # drop both warmth levels: the evaluator pool and the context cache
+        common._evaluator_pool().clear()
+        common._CONTEXT_CACHE.clear()
+
+    # -- cold: every query rebuilds context + evaluator --------------------
+    cold_results = []
+    t0 = time.perf_counter()
+    for _ in range(COLD_BUILDS):
+        go_cold()
+        cold_results.append(query())
+    cold_seconds = (time.perf_counter() - t0) / COLD_BUILDS
+
+    # -- warm: every query hits the resident evaluator ---------------------
+    query()  # populate
+    warm_results = []
+    t0 = time.perf_counter()
+    for _ in range(WARM_QUERIES):
+        warm_results.append(query())
+    warm_seconds = (time.perf_counter() - t0) / WARM_QUERIES
+
+    assert all(r == cold_results[0] for r in cold_results + warm_results)
+    speedup = cold_seconds / warm_seconds
+    stats = common._evaluator_pool().stats()
+    assert stats["hits"] >= WARM_QUERIES
+
+    _merge_report(
+        "warm_evaluator",
+        {
+            "cold_builds": COLD_BUILDS,
+            "warm_queries": WARM_QUERIES,
+            "cold_seconds_per_query": cold_seconds,
+            "warm_seconds_per_query": warm_seconds,
+            "speedup": speedup,
+            "pool_hits": stats["hits"],
+            "pool_misses": stats["misses"],
+        },
+    )
+    print(
+        f"warm evaluator: cold {cold_seconds * 1e3:.1f} ms/query, "
+        f"warm {warm_seconds * 1e6:.1f} us/query ({speedup:.1f}x)"
+    )
+    assert speedup >= WARM_SPEEDUP_GATE, (
+        f"warm evaluator pool only {speedup:.2f}x faster than cold builds "
+        f"(gate: {WARM_SPEEDUP_GATE}x)"
+    )
+
+
+def _hammer(cache: DiskCache, salt: str) -> float:
+    """Concurrent put storm; returns sustained puts/second."""
+    payload = "x" * PAYLOAD_BYTES
+    barrier = threading.Barrier(CACHE_THREADS)
+
+    def writer(tid: int) -> None:
+        barrier.wait()
+        for i in range(PUTS_PER_THREAD):
+            cache.put((salt, tid, i), payload)
+
+    threads = [
+        threading.Thread(target=writer, args=(tid,)) for tid in range(CACHE_THREADS)
+    ]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    elapsed = time.perf_counter() - t0
+    return (CACHE_THREADS * PUTS_PER_THREAD) / elapsed
+
+
+def test_sharded_cache_concurrent_throughput_gate(tmp_path):
+    """8-shard concurrent put throughput must be >= 2x the flat layout.
+
+    The cap is sized so the store runs under continuous eviction
+    pressure — the regime where the flat layout serializes every writer
+    behind one lock and one whole-store eviction scan.
+    """
+    max_bytes = CACHE_THREADS * PUTS_PER_THREAD * PAYLOAD_BYTES // 8
+
+    flat = DiskCache(tmp_path / "flat", max_bytes=max_bytes, shards=1)
+    flat_rate = _hammer(flat, "flat")
+
+    sharded = DiskCache(
+        tmp_path / "sharded", max_bytes=max_bytes, shards=CACHE_SHARDS
+    )
+    sharded_rate = _hammer(sharded, "sharded")
+
+    assert flat.stats()["evictions"] > 0, "gate must run under eviction pressure"
+    assert sharded.stats()["evictions"] > 0
+    assert sharded.stats()["errors"] == 0
+
+    speedup = sharded_rate / flat_rate
+    _merge_report(
+        "sharded_cache",
+        {
+            "threads": CACHE_THREADS,
+            "puts_per_thread": PUTS_PER_THREAD,
+            "payload_bytes": PAYLOAD_BYTES,
+            "shards": CACHE_SHARDS,
+            "flat_puts_per_second": flat_rate,
+            "sharded_puts_per_second": sharded_rate,
+            "flat_evictions": flat.stats()["evictions"],
+            "sharded_evictions": sharded.stats()["evictions"],
+            "speedup": speedup,
+        },
+    )
+    print(
+        f"sharded cache: flat {flat_rate:.0f} puts/s, "
+        f"sharded {sharded_rate:.0f} puts/s ({speedup:.1f}x)"
+    )
+    assert speedup >= SHARD_SPEEDUP_GATE, (
+        f"sharded cache only {speedup:.2f}x the flat layout "
+        f"(gate: {SHARD_SPEEDUP_GATE}x)"
+    )
+
+
+def test_admission_control_sheds_overload_gate():
+    """Eq. (8) admission must shed a synthetic storm and pass a trickle."""
+    registry.reset("service.")
+
+    async def storm() -> dict:
+        admission = AdmissionController(
+            capacity=50.0, queue_bound=4, min_history=8, refresh_every=4
+        )
+        service = AnalysisService(
+            workers=2,
+            queue_limit=8,
+            admission=admission,
+            executor=ThreadPoolExecutor(2),
+        )
+        await service.start()
+        outcomes = {"rejected": 0, "accepted": 0}
+        for _ in range(STORM_REQUESTS):
+            job = await service.submit("sleep", {"seconds": 0.05})
+            if job.state == "rejected":
+                outcomes["rejected"] += 1
+            else:
+                outcomes["accepted"] += 1
+        stats = service.stats()["admission"]
+        await service.close()
+        outcomes["required"] = stats["required"]
+        outcomes["capacity"] = stats["capacity"]
+        outcomes["feasible"] = stats["feasible"]
+        return outcomes
+
+    outcome = asyncio.run(storm())
+    assert outcome["rejected"] > 0, "storm past capacity must shed load"
+    assert outcome["required"] > outcome["capacity"]
+    assert not outcome["feasible"]
+
+    # the decisions are visible exactly where obs report reads them
+    breakdown = service_breakdown(registry.snapshot())
+    assert breakdown["rejected"].get("infeasible", 0) == outcome["rejected"]
+
+    async def trickle() -> int:
+        admission = AdmissionController(
+            capacity=100_000.0, queue_bound=8, min_history=8, refresh_every=4
+        )
+        service = AnalysisService(
+            workers=2,
+            queue_limit=64,
+            admission=admission,
+            executor=ThreadPoolExecutor(2),
+        )
+        await service.start()
+        accepted = 0
+        for _ in range(30):
+            job = await service.submit("sleep", {"seconds": 0.001})
+            if job.state != "rejected":
+                accepted += 1
+            await asyncio.sleep(0.01)
+        await service.drain()
+        return accepted
+
+    accepted = asyncio.run(trickle())
+    assert accepted == 30, "feasible load must pass untouched"
+
+    _merge_report(
+        "admission_control",
+        {
+            "storm_requests": STORM_REQUESTS,
+            "storm_accepted": outcome["accepted"],
+            "storm_rejected": outcome["rejected"],
+            "required_capacity": outcome["required"],
+            "configured_capacity": outcome["capacity"],
+            "trickle_requests": 30,
+            "trickle_accepted": accepted,
+        },
+    )
+    print(
+        f"admission: storm {outcome['rejected']}/{STORM_REQUESTS} shed "
+        f"(required {outcome['required']:.0f} vs capacity "
+        f"{outcome['capacity']:.0f} units/s), trickle {accepted}/30 accepted"
+    )

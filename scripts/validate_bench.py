@@ -80,6 +80,46 @@ MINPLUS_BACKEND_SECTIONS = {
 }
 
 
+#: Required keys per gate section of BENCH_service.json — the gates in
+#: benchmarks/test_bench_service.py write exactly these.  The speedup
+#: floors mirror the in-test asserts so a hand-edited report cannot
+#: understate a regression.
+SERVICE_SECTIONS = {
+    "warm_evaluator": {
+        "cold_builds",
+        "warm_queries",
+        "cold_seconds_per_query",
+        "warm_seconds_per_query",
+        "speedup",
+        "pool_hits",
+        "pool_misses",
+    },
+    "sharded_cache": {
+        "threads",
+        "puts_per_thread",
+        "payload_bytes",
+        "shards",
+        "flat_puts_per_second",
+        "sharded_puts_per_second",
+        "flat_evictions",
+        "sharded_evictions",
+        "speedup",
+    },
+    "admission_control": {
+        "storm_requests",
+        "storm_accepted",
+        "storm_rejected",
+        "required_capacity",
+        "configured_capacity",
+        "trickle_requests",
+        "trickle_accepted",
+    },
+}
+
+#: Speedup floors of the service gates (same numbers the tests assert).
+SERVICE_SPEEDUP_FLOORS = {"warm_evaluator": 3.0, "sharded_cache": 2.0}
+
+
 def fail(message: str) -> None:
     sys.exit(f"validate_bench: {message}")
 
@@ -162,6 +202,34 @@ def validate_minplus(path: Path) -> None:
             )
 
 
+def validate_service(path: Path) -> None:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    for section, required in SERVICE_SECTIONS.items():
+        payload = report.get(section)
+        if payload is None:
+            fail(f"{path}: missing service-gate section {section!r}")
+        missing = required - payload.keys()
+        if missing:
+            fail(f"{path}: {section}: missing keys {sorted(missing)}")
+    for section, floor in SERVICE_SPEEDUP_FLOORS.items():
+        speedup = report[section]["speedup"]
+        if speedup < floor:
+            fail(
+                f"{path}: {section}: speedup {speedup:.2f}x below the "
+                f"{floor}x gate"
+            )
+    admission = report["admission_control"]
+    if admission["storm_rejected"] <= 0:
+        fail(f"{path}: admission_control: overload storm shed nothing")
+    if admission["required_capacity"] <= admission["configured_capacity"]:
+        fail(
+            f"{path}: admission_control: storm did not exceed the "
+            f"configured capacity — not an overload"
+        )
+    if admission["trickle_accepted"] != admission["trickle_requests"]:
+        fail(f"{path}: admission_control: feasible trickle was shed")
+
+
 def validate_trajectory_backends(bench_dir: Path, trajectory_path: Path) -> int:
     """Cross-check BENCH backends against the latest trajectory record.
 
@@ -241,6 +309,8 @@ def main(argv: list[str] | None = None) -> int:
             validate_compact(path)
         if path.name == "BENCH_minplus.json":
             validate_minplus(path)
+        if path.name == "BENCH_service.json":
+            validate_service(path)
         print(f"{path}: {sections} sections ok")
     trajectory_path = args.trajectory or args.bench_dir / "TRAJECTORY.jsonl"
     checked = validate_trajectory_backends(args.bench_dir, trajectory_path)

@@ -16,6 +16,13 @@ Parallelism and caching (see ``docs/performance.md``)::
                                                   # frequency/backlog sweep
     python -m repro E5 --max-segments 64 --bisect # budgeted + bisection
 
+Analysis as a service (see ``docs/service.md``)::
+
+    python -m repro serve --socket /tmp/repro.sock --capacity 4000
+                                                  # start the job daemon
+    python -m repro sweep --service /tmp/repro.sock --buffers 810,1620
+                                                  # sweep through the daemon
+
 Observability (see ``docs/observability.md``)::
 
     python -m repro E1 --trace trace.jsonl        # span timeline (JSONL)
@@ -193,12 +200,17 @@ def _arm_atexit_export(args: argparse.Namespace) -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI dispatch: ``sweep``/``obs`` subcommands or the experiment runner."""
+    """CLI dispatch: ``sweep``/``obs``/``serve`` subcommands or the
+    experiment runner."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "obs":
         return _obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
     return _experiments_main(argv)
 
 
@@ -382,6 +394,14 @@ def _sweep_main(argv: list[str]) -> int:
         default=0,
         help="resubmissions of failed/timed-out points (default: 0)",
     )
+    parser.add_argument(
+        "--service",
+        metavar="SOCKET",
+        default=None,
+        help="submit the sweep points to a running analysis daemon at "
+        "SOCKET (python -m repro serve) instead of a local worker pool; "
+        "--parallel/--cache-dir/--seed are then the daemon's concern",
+    )
     _add_compact_arguments(parser)
     _add_runner_arguments(parser)
     _add_obs_arguments(parser)
@@ -407,40 +427,52 @@ def _sweep_main(argv: list[str]) -> int:
     from repro.util.report import TextTable
 
     t0 = time.perf_counter()
-    with tracer.span("cli", command="sweep", points=len(buffers)):
-        swept = sweep(
-            frequency_backlog_point,
-            {"buffer_size": buffers},
-            fixed={
-                "frames": args.frames,
-                "dense_limit": args.dense_limit,
-                "growth": args.growth,
-                "stream_chunk": args.stream_chunk,
-                "max_segments": args.max_segments,
-                "compact_error": args.compact_error,
-                "backend": args.backend,
-                "bisect": args.bisect,
-            },
-            max_workers=args.parallel,
-            cache_dir=args.cache_dir,
-            seed=args.seed,
-            timeout_s=args.timeout,
-            retries=args.retries,
-        )
+    if args.service:
+        with tracer.span("cli", command="sweep-service", points=len(buffers)):
+            outcomes = _sweep_via_service(args, buffers)
+    else:
+        with tracer.span("cli", command="sweep", points=len(buffers)):
+            swept = sweep(
+                frequency_backlog_point,
+                {"buffer_size": buffers},
+                fixed={
+                    "frames": args.frames,
+                    "dense_limit": args.dense_limit,
+                    "growth": args.growth,
+                    "stream_chunk": args.stream_chunk,
+                    "max_segments": args.max_segments,
+                    "compact_error": args.compact_error,
+                    "backend": args.backend,
+                    "bisect": args.bisect,
+                },
+                max_workers=args.parallel,
+                cache_dir=args.cache_dir,
+                seed=args.seed,
+                timeout_s=args.timeout,
+                retries=args.retries,
+            )
+        outcomes = [
+            (
+                point["buffer_size"],
+                task.ok,
+                None if task.ok else str(task.error),
+                task.value if task.ok else None,
+            )
+            for point, task in zip(swept.points, swept.results)
+        ]
     wall = time.perf_counter() - t0
 
     failures = []
     table = TextTable(
         ["b (MB)", "F_gamma (MHz)", "F_wcet (MHz)", "savings", "backlog (events)"],
         title=f"Frequency/backlog sweep, frames={args.frames}, "
-        f"workers={args.parallel}",
+        + (f"service={args.service}" if args.service else f"workers={args.parallel}"),
     )
     results = []
-    for point, task in zip(swept.points, swept.results):
-        if not task.ok:
-            failures.append(f"b={point['buffer_size']}: {task.error}")
+    for buffer_size, ok, error, result in outcomes:
+        if not ok:
+            failures.append(f"b={buffer_size}: {error}")
             continue
-        result = task.value
         results.append(result)
         data = result.data
         table.add_row(
@@ -453,7 +485,7 @@ def _sweep_main(argv: list[str]) -> int:
             ]
         )
     print(table.render())
-    print(f"\n{len(results)}/{len(swept.points)} points in {wall:.2f}s")
+    print(f"\n{len(results)}/{len(buffers)} points in {wall:.2f}s")
 
     if args.out_dir:
         out_dir = Path(args.out_dir)
@@ -486,6 +518,79 @@ def _sweep_main(argv: list[str]) -> int:
     for failure in failures:
         print(f"error: {failure}", file=sys.stderr)
     return 1 if failures else 0
+
+
+def _sweep_via_service(args: argparse.Namespace, buffers: list[int]) -> list:
+    """Run the sweep through a live analysis daemon.
+
+    Submits every point first (so the daemon pipelines them across its
+    workers), then collects results in order.  Returns
+    ``(buffer_size, ok, error, ExperimentResult | None)`` tuples — the
+    same outcome shape the local worker-pool path produces, so the
+    reporting below is oblivious to how the points were computed.
+    """
+    from repro.experiments.common import ExperimentResult
+    from repro.service.client import ServiceClient, ServiceError
+
+    base = {
+        "frames": args.frames,
+        "dense_limit": args.dense_limit,
+        "growth": args.growth,
+        "stream_chunk": args.stream_chunk,
+        "max_segments": args.max_segments,
+        "compact_error": args.compact_error,
+        "backend": args.backend,
+        "bisect": args.bisect,
+    }
+    outcomes: list = []
+    with ServiceClient(args.service) as client:
+        submitted: list[tuple[int, dict]] = []
+        for buffer_size in buffers:
+            try:
+                job = client.submit(
+                    "frequency", {"buffer_size": buffer_size, **base}
+                )
+            except ServiceError as exc:
+                outcomes.append(
+                    (buffer_size, False, f"{exc.error_type}: {exc}", None)
+                )
+                continue
+            submitted.append((buffer_size, job))
+        for buffer_size, job in submitted:
+            if job["state"] in ("rejected", "shed"):
+                outcomes.append(
+                    (buffer_size, False, f"admission {job['state']}", None)
+                )
+                continue
+            try:
+                done = client.result(job["id"], timeout=args.timeout)
+            except ServiceError as exc:
+                outcomes.append(
+                    (buffer_size, False, f"{exc.error_type}: {exc}", None)
+                )
+                continue
+            if done["state"] != "done":
+                outcomes.append(
+                    (buffer_size, False, f"{done['state']}: {done.get('error')}", None)
+                )
+                continue
+            payload = done["result"]
+            outcomes.append(
+                (
+                    buffer_size,
+                    True,
+                    None,
+                    ExperimentResult(
+                        experiment_id=payload["experiment_id"],
+                        title=payload["title"],
+                        paper_reference=payload["paper_reference"],
+                        report=payload["report"],
+                        data=payload["data"],
+                        manifest=payload["manifest"],
+                    ),
+                )
+            )
+    return outcomes
 
 
 def _load_json(path: str, parser: argparse.ArgumentParser) -> dict:
@@ -645,6 +750,36 @@ def _obs_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
                 f"{batch['fallbacks']} fallbacks "
                 f"({batch['fallback_rate']:.1%})"
             )
+        service = report["service"]
+        if service["submitted"] or service["evalpool"]["misses"]:
+            print()
+            table = TextTable(
+                ["service", "count"], title="Analysis service (admission/outcomes)"
+            )
+            table.add_row(["submitted", _fmt(float(service["submitted"]))])
+            table.add_row(["accepted", _fmt(float(service["accepted"]))])
+            for reason, count in service["rejected"].items():
+                table.add_row([f"rejected[{reason}]", _fmt(float(count))])
+            for state, count in service["completed"].items():
+                table.add_row([f"completed[{state}]", _fmt(float(count))])
+            if service["retries"]:
+                table.add_row(["retries", _fmt(float(service["retries"]))])
+            print(table.render())
+            admission = service["admission"]
+            if admission["capacity"] is not None:
+                required = admission["required"]
+                print(
+                    "admission: required "
+                    + ("-" if required is None else f"{required:.1f}")
+                    + f" vs capacity {admission['capacity']:.1f} units/s"
+                )
+            pool = service["evalpool"]
+            if pool["hits"] or pool["misses"]:
+                print(
+                    f"evalpool: {_fmt(float(pool['hits']))} hits, "
+                    f"{_fmt(float(pool['misses']))} misses, "
+                    f"{_fmt(float(pool['evictions']))} evictions"
+                )
         if report["quantiles"]:
             print()
             table = TextTable(

@@ -305,7 +305,23 @@ def case_study_context(
     return ctx
 
 
-_EVALUATOR_CACHE: dict[tuple, "FrequencySweepEvaluator"] = {}
+#: Warm evaluators shared by every sweep point this process evaluates —
+#: an LRU pool keyed by parameter digest (see
+#: :mod:`repro.service.evalpool`); the analysis service's workers and the
+#: batch runner's workers both warm it through
+#: :func:`sweep_frequency_evaluator`.
+_EVALUATOR_POOL = None
+
+
+def _evaluator_pool():
+    """The process-wide evaluator pool (created on first use — the
+    service package import is deferred to keep experiment import light)."""
+    global _EVALUATOR_POOL
+    if _EVALUATOR_POOL is None:
+        from repro.service.evalpool import EvaluatorPool
+
+        _EVALUATOR_POOL = EvaluatorPool()
+    return _EVALUATOR_POOL
 
 
 def sweep_frequency_evaluator(
@@ -334,24 +350,14 @@ def sweep_frequency_evaluator(
     """
     from repro.analysis.frequency import FrequencySweepEvaluator
 
-    key = (
-        frames,
-        dense_limit,
-        growth,
-        stream_chunk,
-        max_segments,
-        compact_error,
-        backend,
-    )
-    evaluator = _EVALUATOR_CACHE.get(key)
-    if evaluator is None:
+    def build() -> FrequencySweepEvaluator:
         ctx = case_study_context(
             frames=frames,
             dense_limit=dense_limit,
             growth=growth,
             stream_chunk=stream_chunk,
         )
-        evaluator = FrequencySweepEvaluator(
+        return FrequencySweepEvaluator(
             ctx.alpha,
             ctx.gamma_u,
             wcet=ctx.wcet,
@@ -359,14 +365,24 @@ def sweep_frequency_evaluator(
             max_error=compact_error,
             backend=backend,
         )
-        _EVALUATOR_CACHE[key] = evaluator
-    else:
-        # re-record the context input so manifests of cache-hit points
-        # still carry the clip-trace digest
-        case_study_context(
-            frames=frames,
-            dense_limit=dense_limit,
-            growth=growth,
-            stream_chunk=stream_chunk,
-        )
+
+    evaluator = _evaluator_pool().get(
+        build,
+        frames=frames,
+        dense_limit=dense_limit,
+        growth=growth,
+        stream_chunk=stream_chunk,
+        max_segments=max_segments,
+        compact_error=compact_error,
+        backend=backend,
+    )
+    # (re-)record the context input on pool hits too, so manifests of
+    # warm points still carry the clip-trace digest — the context cache
+    # makes this free
+    case_study_context(
+        frames=frames,
+        dense_limit=dense_limit,
+        growth=growth,
+        stream_chunk=stream_chunk,
+    )
     return evaluator

@@ -69,6 +69,7 @@ from repro.obs.profile import (
     histogram_quantile,
     histogram_quantiles,
     profile_report,
+    service_breakdown,
     prometheus_text,
     read_trace_jsonl,
     write_collapsed,
@@ -124,6 +125,7 @@ __all__ = [
     "histogram_quantile",
     "histogram_quantiles",
     "profile_report",
+    "service_breakdown",
     "prometheus_text",
     "read_trace_jsonl",
     "write_collapsed",

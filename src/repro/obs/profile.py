@@ -49,6 +49,7 @@ __all__ = [
     "histogram_quantiles",
     "dispatch_breakdown",
     "cache_tiers",
+    "service_breakdown",
     "profile_report",
     "write_profile",
     "prometheus_text",
@@ -381,6 +382,52 @@ def cache_tiers(snapshot: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def service_breakdown(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Analysis-service accounting out of a metrics *snapshot*.
+
+    Summarizes the job daemon's admission decisions and outcomes:
+    submissions, eq. (8) accepts vs. rejects split by reason
+    (``service.rejected{reason=...}`` — ``infeasible`` is the
+    feasibility test saying no, ``queue-full`` the bounded queue
+    shedding), completions by terminal state, retries, executor
+    fallbacks, and the warm evaluator pool's hit accounting.  The
+    ``admission`` gauges carry the last characterized required capacity
+    against the configured one.  All zeros when no service ran.
+    """
+    rejected: dict[str, int | float] = {}
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] != "service.rejected":
+            continue
+        reason = str(entry["labels"].get("reason", "unknown"))
+        rejected[reason] = rejected.get(reason, 0) + entry["value"]
+    completed: dict[str, int | float] = {}
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] != "service.completed":
+            continue
+        state = str(entry["labels"].get("state", "unknown"))
+        completed[state] = completed.get(state, 0) + entry["value"]
+    gauges = {
+        entry["name"]: entry["value"] for entry in snapshot.get("gauges", ())
+    }
+    return {
+        "submitted": _sum_counters(snapshot, "service.submitted"),
+        "accepted": _sum_counters(snapshot, "service.accepted"),
+        "rejected": dict(sorted(rejected.items())),
+        "completed": dict(sorted(completed.items())),
+        "retries": _sum_counters(snapshot, "service.retries"),
+        "pool_fallbacks": _sum_counters(snapshot, "service.pool_fallbacks"),
+        "admission": {
+            "required": gauges.get("service.admission.required"),
+            "capacity": gauges.get("service.admission.capacity"),
+        },
+        "evalpool": {
+            "hits": _sum_counters(snapshot, "service.evalpool.hits"),
+            "misses": _sum_counters(snapshot, "service.evalpool.misses"),
+            "evictions": _sum_counters(snapshot, "service.evalpool.evictions"),
+        },
+    }
+
+
 def profile_report(
     trace_records: Iterable[dict[str, Any]] | None = None,
     metrics_snapshot: dict[str, Any] | None = None,
@@ -402,6 +449,7 @@ def profile_report(
     if metrics_snapshot is not None:
         report["dispatch"] = dispatch_breakdown(metrics_snapshot)
         report["cache"] = cache_tiers(metrics_snapshot)
+        report["service"] = service_breakdown(metrics_snapshot)
         report["quantiles"] = histogram_quantiles(
             metrics_snapshot, quantiles=quantiles
         )

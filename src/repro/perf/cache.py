@@ -260,11 +260,12 @@ def _publish_cache_metrics(registry) -> None:
         registry.counter("cache.op.misses", op=op).set_total(counters["misses"])
     disk_stats = stats_now.get("disk")
     if disk_stats is not None:
-        for key in ("hits", "misses", "writes", "evictions", "errors"):
+        for key in ("hits", "misses", "writes", "evictions", "errors", "migrated"):
             registry.counter(f"diskcache.{key}").set_total(disk_stats[key])
         registry.gauge("diskcache.bytes").set(disk_stats["bytes"])
         registry.gauge("diskcache.entries").set(disk_stats["entries"])
         registry.gauge("diskcache.max_bytes").set(disk_stats["max_bytes"])
+        registry.gauge("diskcache.shards").set(disk_stats["shards"])
 
 
 def _register_collector() -> None:
@@ -282,6 +283,7 @@ def configure(
     max_entries: int | None = None,
     disk_dir: Any = None,
     disk_max_bytes: int | None = None,
+    disk_shards: int | None = None,
     backend: str | None = None,
 ) -> None:
     """Adjust the global cache: switch it on/off and/or resize it.
@@ -289,7 +291,8 @@ def configure(
     Disabling does not drop existing entries — re-enabling resumes serving
     them.  Shrinking evicts LRU entries down to the new bound on the next
     insert.  ``disk_dir`` attaches a persistent second level at that
-    directory (see :func:`attach_disk_cache`); pass ``disk_dir=False`` to
+    directory (see :func:`attach_disk_cache`), split into ``disk_shards``
+    independently-locked shard directories; pass ``disk_dir=False`` to
     detach it.  ``backend`` selects the active min-plus kernel backend
     (see :mod:`repro.curves.backends`); switching is cache-sound because
     generic-path keys carry the backend's compatibility tag.
@@ -303,23 +306,28 @@ def configure(
     if disk_dir is False:
         detach_disk_cache()
     elif disk_dir is not None:
-        attach_disk_cache(disk_dir, max_bytes=disk_max_bytes)
+        attach_disk_cache(disk_dir, max_bytes=disk_max_bytes, shards=disk_shards)
     if backend is not None:
         from repro.curves.backends import set_backend
 
         set_backend(backend)
 
 
-def attach_disk_cache(directory, *, max_bytes: int | None = None):
+def attach_disk_cache(directory, *, max_bytes: int | None = None, shards: int | None = None):
     """Attach (or replace) the persistent second level of the global cache.
 
     Creates *directory* if needed and returns the attached
     :class:`~repro.perf.diskcache.DiskCache`.  Safe to call in every
     process of a worker pool — the store is shared through the filesystem.
+    ``shards`` splits the store into that many independently-locked
+    directories (default 1, the historical flat layout; an existing flat
+    store is migrated in place when a shard count is first requested).
     """
     from repro.perf.diskcache import DEFAULT_MAX_BYTES, DiskCache
 
-    disk = DiskCache(directory, max_bytes=max_bytes or DEFAULT_MAX_BYTES)
+    disk = DiskCache(
+        directory, max_bytes=max_bytes or DEFAULT_MAX_BYTES, shards=shards or 1
+    )
     kernel_cache.disk = disk
     return disk
 

@@ -23,8 +23,10 @@
   ``--trace``/``--metrics-out`` keep working under parallelism;
 * **deterministic seeding** — every task runs after a reseed of the
   ``random`` and ``numpy`` global generators with a seed derived from
-  ``(base seed, task index)``, identically in the serial and parallel
-  paths, so a 4-worker run is bit-identical to a serial one.
+  ``(base seed, task index)`` by the shared helper in
+  :mod:`repro.util.seeding` (also used by :mod:`repro.service`),
+  identically in the serial and parallel paths, so a 4-worker run is
+  bit-identical to a serial one.
 
 The function and items must be picklable (define task functions at module
 level — see :mod:`repro.runner.tasks` for the stock ones).
@@ -32,10 +34,8 @@ level — see :mod:`repro.runner.tasks` for the stock ones).
 
 from __future__ import annotations
 
-import hashlib
 import itertools
 import os
-import random
 import signal
 import threading
 import time
@@ -48,6 +48,7 @@ import multiprocessing
 
 from repro.obs.metrics import registry
 from repro.obs.tracing import tracer
+from repro.util.seeding import derive_seed, reseed as _reseed
 
 __all__ = [
     "TaskResult",
@@ -125,42 +126,18 @@ class SweepResult:
 
 
 # ---------------------------------------------------------------------------
-# seeding
-# ---------------------------------------------------------------------------
-
-def derive_seed(base: int | None, index: int) -> int | None:
-    """Per-task seed: a blake2b fold of ``(base, index)``, independent of
-    chunking and worker assignment (None stays None — no reseeding)."""
-    if base is None:
-        return None
-    digest = hashlib.blake2b(f"{base}:{index}".encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
-
-
-def _reseed(seed: int | None) -> None:
-    """Reseed the global RNGs (``random`` + numpy legacy) for one task."""
-    if seed is None:
-        return
-    random.seed(seed)
-    try:
-        import numpy as np
-
-        np.random.seed(seed % 2**32)
-    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
-        pass
-
-
-# ---------------------------------------------------------------------------
 # worker side
 # ---------------------------------------------------------------------------
 
-def _worker_init(cache_dir: str | None, disk_max_bytes: int | None) -> None:
+def _worker_init(
+    cache_dir: str | None, disk_max_bytes: int | None, disk_shards: int | None
+) -> None:
     """Process-pool initializer: attach the persistent kernel cache so
     every worker shares warm results through the filesystem."""
     if cache_dir:
         from repro.perf.cache import attach_disk_cache
 
-        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes)
+        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes, shards=disk_shards)
 
 
 def _alarm_guard(seconds: float | None):
@@ -342,6 +319,7 @@ def run_many(
     chunk_size: int | None = None,
     cache_dir: str | os.PathLike | None = None,
     disk_max_bytes: int | None = None,
+    disk_shards: int | None = None,
     seed: int | None = None,
     start_method: str | None = None,
 ) -> list[TaskResult]:
@@ -365,7 +343,7 @@ def run_many(
     if cache_dir is not None:
         from repro.perf.cache import attach_disk_cache
 
-        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes)
+        attach_disk_cache(cache_dir, max_bytes=disk_max_bytes, shards=disk_shards)
         cache_dir = str(cache_dir)
     if not items:
         return []
@@ -409,7 +387,7 @@ def run_many(
             max_workers=workers,
             mp_context=context,
             initializer=_worker_init,
-            initargs=(cache_dir, disk_max_bytes),
+            initargs=(cache_dir, disk_max_bytes, disk_shards),
         )
 
     with tracer.span(

@@ -1,0 +1,51 @@
+"""Analysis-as-a-service: the repo's long-running query layer.
+
+The packages below turn the batch analysis pipeline into a daemon that
+answers curve/frequency/backlog queries over a JSONL protocol, while
+*dogfooding the paper*: the service characterizes its own request stream
+as a workload curve and admits work by the eq. (8) feasibility test.
+
+Modules
+-------
+:mod:`~repro.service.daemon`
+    :class:`AnalysisService` — asyncio job queue, CPU executor, retries,
+    timeouts, graceful drain.
+:mod:`~repro.service.admission`
+    :class:`AdmissionController` — eq. (8) admission over the service's
+    self-characterized arrival/workload curves.
+:mod:`~repro.service.evalpool`
+    :class:`EvaluatorPool` — warm frequency evaluators, LRU by parameter
+    digest.
+:mod:`~repro.service.jobs`
+    :class:`Job` — the lifecycle record.
+:mod:`~repro.service.ops`
+    The executable operations and their demand estimates.
+:mod:`~repro.service.protocol` / :mod:`~repro.service.server` /
+:mod:`~repro.service.client`
+    JSONL wire dialect, unix-socket/stdio front-ends, blocking client.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import AnalysisService, ServiceClosed
+from repro.service.evalpool import DEFAULT_POOL_ENTRIES, EvaluatorPool
+from repro.service.jobs import JOB_STATES, TERMINAL_STATES, Job
+from repro.service.ops import OPS, UnknownOperation, estimate_demand, execute_op
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AnalysisService",
+    "DEFAULT_POOL_ENTRIES",
+    "EvaluatorPool",
+    "Job",
+    "JOB_STATES",
+    "OPS",
+    "ServiceClient",
+    "ServiceClosed",
+    "ServiceError",
+    "TERMINAL_STATES",
+    "UnknownOperation",
+    "estimate_demand",
+    "execute_op",
+]

@@ -1,0 +1,275 @@
+"""Self-characterizing admission control — the paper, dogfooded.
+
+The analysis service treats *itself* as a task with variable execution
+demand: every arriving request is one "activation", its estimated cost is
+the activation's demand, and the rolling history of both is characterized
+exactly the way the paper characterizes the MPEG-2 decoder —
+
+* the request timestamps yield an **upper arrival curve** ``ᾱ(Δ)``
+  (:func:`repro.curves.arrival.from_trace_upper`);
+* the per-request demands, folded chunk-by-chunk through
+  :meth:`repro.core.workload.WorkloadCurve.from_demand_stream`, yield an
+  **upper workload curve** ``γ^u(k)`` of the service's own demand;
+* the service's sustained processing rate is its "clock frequency"
+  ``F`` and the bounded job queue of ``b`` slots is its FIFO.
+
+A request is admitted iff the eq. (8) feasibility test
+
+.. math::
+
+    F·Δ \\ge γ^u(\\barα(Δ) - b) \\qquad \\forall Δ \\ge 0
+
+still holds for the characterized load — i.e. the service provably keeps
+up without ever overflowing its queue.  When the offered load pushes the
+required capacity (eq. (9)) above ``F``, requests are rejected until the
+rolling window drains — threshold admission in the spirit of the
+utilization-threshold literature (Gopalakrishnan, PAPERS.md), with the
+threshold *derived from the measured workload curve* instead of a fixed
+utilization constant.
+
+Demands start from per-op estimates and are refined online: the daemon
+reports measured execution costs back via :meth:`AdmissionController.
+record_cost`, so the characterization tracks what requests actually cost
+on this host ("self-characterizing").
+
+Decisions are counted in the :mod:`repro.obs` registry —
+``service.accepted`` and ``service.rejected{reason=...}`` — and surfaced
+by ``python -m repro obs report`` (admission section).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.analysis.frequency import (
+    minimum_frequency_curves,
+    verify_service_constraint,
+)
+from repro.core.workload import WorkloadCurve
+from repro.curves.arrival import from_trace_upper
+from repro.curves.curve import PiecewiseLinearCurve
+from repro.obs.metrics import registry
+from repro.util.validation import check_integer, check_positive
+
+__all__ = ["AdmissionController", "AdmissionDecision"]
+
+#: Demands are chunked at this size before the streaming envelope fold.
+_DEMAND_CHUNK = 64
+
+#: EMA weight of the newest measured cost sample.
+_COST_EMA_ALPHA = 0.2
+
+#: Floor on a metered demand (zero-cost requests would break the
+#: positive-demand contract of the workload-curve extraction).
+_MIN_DEMAND = 1e-9
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one :meth:`AdmissionController.admit` call."""
+
+    accepted: bool
+    reason: str
+    capacity: float
+    required: float | None
+    observed: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable view (attached to rejected jobs)."""
+        return {
+            "accepted": self.accepted,
+            "reason": self.reason,
+            "capacity": self.capacity,
+            "required": self.required,
+            "observed": self.observed,
+        }
+
+
+class AdmissionController:
+    """Eq. (8) admission control over the service's own request stream.
+
+    Parameters
+    ----------
+    capacity:
+        Sustained processing rate of the service in demand units per
+        second (the service's "frequency" ``F``).  The daemon meters
+        demands in estimated milliseconds of work, so one saturated
+        worker is ``~1000`` units/s.
+    queue_bound:
+        The bounded job queue depth ``b`` — the FIFO of eq. (8).
+    window:
+        Number of recent requests characterized (rolling).
+    min_history:
+        Below this many observed requests every request is admitted
+        (``"bootstrap"``) — two timestamps make no arrival curve.
+    refresh_every:
+        The curves are re-extracted after this many new observations;
+        between refreshes decisions reuse the cached characterization.
+    """
+
+    def __init__(
+        self,
+        *,
+        capacity: float,
+        queue_bound: int,
+        window: int = 512,
+        min_history: int = 16,
+        refresh_every: int = 16,
+    ):
+        self.capacity = check_positive(capacity, "capacity")
+        self.queue_bound = check_integer(queue_bound, "queue_bound", minimum=1)
+        self.window = check_integer(window, "window", minimum=8)
+        self.min_history = check_integer(min_history, "min_history", minimum=4)
+        self.refresh_every = check_integer(refresh_every, "refresh_every", minimum=1)
+        self._times: deque[float] = deque(maxlen=self.window)
+        self._chunks: deque[np.ndarray] = deque(
+            maxlen=max(1, self.window // _DEMAND_CHUNK)
+        )
+        self._tail: list[float] = []
+        self._stale = 0
+        self._alpha: PiecewiseLinearCurve | None = None
+        self._gamma_u: WorkloadCurve | None = None
+        self._required: float | None = None
+        self._cost_ema: dict[str, float] = {}
+        self.accepted = 0
+        self.rejected = 0
+
+    # -- metering ----------------------------------------------------------------
+    def observe(self, demand: float, now: float | None = None) -> None:
+        """Meter one arriving request: timestamp + estimated demand.
+
+        Every request is observed — including the ones subsequently
+        rejected — because the *offered* load is what the service must
+        characterize to know it is overloaded.
+        """
+        now = time.monotonic() if now is None else float(now)
+        if self._times and now < self._times[-1]:
+            now = self._times[-1]  # monotonicity guard for injected clocks
+        self._times.append(now)
+        self._tail.append(max(float(demand), _MIN_DEMAND))
+        if len(self._tail) >= _DEMAND_CHUNK:
+            self._chunks.append(np.asarray(self._tail, dtype=float))
+            self._tail = []
+        self._stale += 1
+
+    def record_cost(self, op: str, cost: float) -> None:
+        """Fold a *measured* execution cost into the per-op estimate
+        (exponential moving average) — the self-characterizing feedback
+        loop closed by the daemon after every completed job."""
+        cost = max(float(cost), _MIN_DEMAND)
+        previous = self._cost_ema.get(op)
+        if previous is None:
+            self._cost_ema[op] = cost
+        else:
+            self._cost_ema[op] = (
+                _COST_EMA_ALPHA * cost + (1.0 - _COST_EMA_ALPHA) * previous
+            )
+
+    def estimate(self, op: str, default: float) -> float:
+        """Demand estimate for one *op* request: the measured EMA when
+        available, the caller's static *default* otherwise."""
+        return self._cost_ema.get(op, max(float(default), _MIN_DEMAND))
+
+    def _demand_stream(self) -> Iterable[np.ndarray]:
+        """The rolling demand window as the chunk stream it is stored as."""
+        yield from self._chunks
+        if self._tail:
+            yield np.asarray(self._tail, dtype=float)
+
+    def _characterize(self) -> None:
+        """(Re-)extract ``ᾱ`` and ``γ^u`` from the rolling window."""
+        demand_total = sum(c.size for c in self._chunks) + len(self._tail)
+        times = np.asarray(self._times, dtype=float)
+        # the demand window and the timestamp window drift apart by at
+        # most one chunk; characterize over the overlap
+        self._alpha = from_trace_upper(times)
+        self._gamma_u = WorkloadCurve.from_demand_stream(
+            self._demand_stream(), "upper", total=demand_total
+        )
+        bound = minimum_frequency_curves(
+            self._alpha, self._gamma_u, self.queue_bound
+        )
+        self._required = bound.frequency
+        self._stale = 0
+        registry.gauge("service.admission.required").set(self._required)
+        registry.gauge("service.admission.capacity").set(self.capacity)
+
+    # -- characterization views --------------------------------------------------
+    @property
+    def observed(self) -> int:
+        """Number of requests currently in the rolling window."""
+        return len(self._times)
+
+    def demand_curve(self) -> WorkloadCurve | None:
+        """The current ``γ^u`` of the service's own demand (None until
+        enough history has been observed and characterized)."""
+        return self._gamma_u
+
+    def arrival_curve(self) -> PiecewiseLinearCurve | None:
+        """The current ``ᾱ`` of the request stream."""
+        return self._alpha
+
+    def required_capacity(self) -> float | None:
+        """Eq. (9) over the self-characterization: the minimum capacity
+        that keeps the observed load feasible at the queue bound."""
+        return self._required
+
+    def feasible(self) -> bool:
+        """Eq. (8) for the current characterization at ``capacity``."""
+        if self._alpha is None or self._gamma_u is None:
+            return True
+        return verify_service_constraint(
+            self._alpha, self._gamma_u, self.queue_bound, self.capacity
+        )
+
+    # -- decisions ---------------------------------------------------------------
+    def admit(self, demand: float, now: float | None = None) -> AdmissionDecision:
+        """Meter one request and decide accept/reject by eq. (8).
+
+        The request is observed first (offered load is metered whether or
+        not it is admitted), the characterization is refreshed if stale,
+        and the decision plus its reason is counted in the registry.
+        """
+        self.observe(demand, now)
+        if self.observed < self.min_history:
+            return self._decide(True, "bootstrap")
+        if self._stale >= self.refresh_every or self._alpha is None:
+            self._characterize()
+        if self.feasible():
+            return self._decide(True, "feasible")
+        return self._decide(False, "infeasible")
+
+    def _decide(self, accepted: bool, reason: str) -> AdmissionDecision:
+        if accepted:
+            self.accepted += 1
+            registry.counter("service.accepted").inc()
+        else:
+            self.rejected += 1
+            registry.counter("service.rejected", reason=reason).inc()
+        return AdmissionDecision(
+            accepted=accepted,
+            reason=reason,
+            capacity=self.capacity,
+            required=self._required,
+            observed=self.observed,
+        )
+
+    def stats(self) -> dict[str, Any]:
+        """JSON-serializable accounting snapshot (for ``stats`` requests
+        and the daemon's own reporting)."""
+        return {
+            "capacity": self.capacity,
+            "queue_bound": self.queue_bound,
+            "window": self.window,
+            "observed": self.observed,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "required": self._required,
+            "feasible": self.feasible(),
+            "cost_ema": dict(self._cost_ema),
+        }

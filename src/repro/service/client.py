@@ -1,0 +1,138 @@
+"""Blocking client of the analysis service.
+
+A thin synchronous wrapper over the JSONL protocol for callers that are
+not themselves async — the ``sweep --service`` CLI path, tests, and CI
+smokes.  One socket, strictly request/response (the streaming ``events``
+op needs a dedicated connection via :meth:`ServiceClient.events`).
+
+Example::
+
+    with ServiceClient("/tmp/repro.sock") as client:
+        job = client.submit("frequency", {"buffer_size": 8})
+        done = client.result(job["id"], timeout=60)
+        print(done["result"]["report"]["f_min_hz"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Iterator
+
+from repro.service import protocol
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (carries its ``error_type``)."""
+
+    def __init__(self, message: str, error_type: str = "error"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class ServiceClient:
+    """Synchronous JSONL client over a unix socket.
+
+    Parameters
+    ----------
+    socket_path:
+        Path the daemon listens on (``repro serve --socket PATH``).
+    timeout:
+        Socket timeout in seconds for each request/response round trip
+        (None blocks indefinitely — ``result`` waits pass their own
+        budget to the server instead).
+    """
+
+    def __init__(self, socket_path: str, timeout: float | None = None):
+        self.socket_path = socket_path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        self._sock.connect(socket_path)
+        self._file = self._sock.makefile("rb")
+        self._rid = 0
+
+    # -- plumbing ----------------------------------------------------------------
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One request/response round trip; raises :class:`ServiceError`
+        on an error response or a closed connection."""
+        self._rid += 1
+        message = {"op": op, "rid": self._rid, **fields}
+        self._sock.sendall(protocol.encode(message))
+        line = self._file.readline()
+        if not line:
+            raise ServiceError("connection closed by server", "connection")
+        response = protocol.decode(line)
+        if not response.get("ok", False):
+            raise ServiceError(
+                response.get("error", "unknown error"),
+                response.get("error_type", "error"),
+            )
+        return response
+
+    # -- API ---------------------------------------------------------------------
+    def hello(self) -> dict[str, Any]:
+        """Handshake: schema tag, supported ops, and a stats snapshot."""
+        return self.request("hello")
+
+    def submit(self, op: str, params: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Submit a job; returns its job record (may be terminal already
+        when admission rejected or the queue shed it)."""
+        return self.request("submit", job={"op": op, "params": params or {}})["job"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The job record without its result payload."""
+        return self.request("status", id=job_id)["job"]
+
+    def result(self, job_id: str, timeout: float | None = None) -> dict[str, Any]:
+        """Block until the job is terminal; returns the full record."""
+        return self.request("result", id=job_id, timeout=timeout)["job"]
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued job; True when the cancellation took effect."""
+        return bool(self.request("cancel", id=job_id)["cancelled"])
+
+    def stats(self) -> dict[str, Any]:
+        """The service's stats snapshot (queue depth, states, admission)."""
+        return self.request("stats")["stats"]
+
+    def events(self) -> Iterator[dict[str, Any]]:
+        """Subscribe this connection to job events and return an iterator
+        over them.
+
+        The subscription is registered *before* this returns (not a lazy
+        generator — events raced in right after the call are captured).
+        The connection becomes a one-way event stream; make a separate
+        client for further requests.
+        """
+        self.request("events")
+        return self._event_stream()
+
+    def _event_stream(self) -> Iterator[dict[str, Any]]:
+        """Yield events off the (already subscribed) connection."""
+        for line in self._file:
+            message = protocol.decode(line)
+            if "event" in message:
+                yield message["event"]
+
+    def shutdown(self, drain: bool = True) -> None:
+        """Ask the server to stop (gracefully draining by default)."""
+        self.request("shutdown", drain=drain)
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Warm :class:`~repro.analysis.frequency.FrequencySweepEvaluator` pool.
+
+Building an evaluator is the expensive half of a frequency query: the
+case-study context (clip traces, workload/arrival envelopes) plus the
+candidate-window hoisting.  Answering a query against a *warm* evaluator
+is a handful of vectorized comparisons.  The DVS-flavoured related work
+(Berten/Chang/Kuo) motivates exactly this shape: repeated frequency
+queries against the same parameterization should stay cheap, so warm
+evaluators are kept keyed by the blake2b digest of their parameter set
+and evicted LRU when the pool outgrows its bound.
+
+The pool is *generic* over how an evaluator is built — the builder
+callable is supplied by the caller (``repro.experiments.common`` builds
+from the cached case-study context; tests build synthetic ones), so this
+module depends on nothing above the obs layer and every execution tier
+(runner workers, the analysis service, the CLI) shares one
+implementation.
+
+Counters ``service.evalpool.{hits,misses,evictions}`` and the
+``service.evalpool.size`` gauge are published to :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.obs.manifest import digest_json
+from repro.obs.metrics import registry
+
+__all__ = ["EvaluatorPool", "DEFAULT_POOL_ENTRIES"]
+
+#: Default bound on resident warm evaluators.
+DEFAULT_POOL_ENTRIES = 8
+
+
+class EvaluatorPool:
+    """A bounded LRU pool of warm evaluators keyed by parameter digest.
+
+    Thread-safe: lookups and insertions are serialized by one lock, but a
+    missed build runs outside it (two racing threads may both build; the
+    last insert wins — harmless, the builders are pure).
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_POOL_ENTRIES):
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._store: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def digest(params: dict[str, Any]) -> str:
+        """Content digest of a parameter mapping (canonical-JSON blake2b,
+        the same digest run manifests use for their inputs)."""
+        return digest_json(params)
+
+    def get(self, builder: Callable[[], Any], **params: Any) -> Any:
+        """The warm evaluator for *params*, building it on first use.
+
+        *builder* is invoked (without arguments) only on a miss; the
+        result is stored under the parameter digest and the least
+        recently used evaluator is dropped when the pool exceeds its
+        bound.
+        """
+        key = self.digest(params)
+        with self._lock:
+            evaluator = self._store.get(key)
+            if evaluator is not None:
+                self.hits += 1
+                self._store.move_to_end(key)
+                self._publish()
+                return evaluator
+            self.misses += 1
+        evaluator = builder()
+        with self._lock:
+            self._store[key] = evaluator
+            self._store.move_to_end(key)
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
+                self.evictions += 1
+            self._publish()
+        return evaluator
+
+    def _publish(self) -> None:
+        """Mirror the accounting into the metrics registry (lock held)."""
+        registry.counter("service.evalpool.hits").set_total(self.hits)
+        registry.counter("service.evalpool.misses").set_total(self.misses)
+        registry.counter("service.evalpool.evictions").set_total(self.evictions)
+        registry.gauge("service.evalpool.size").set(len(self._store))
+
+    def clear(self) -> None:
+        """Drop every warm evaluator (counters are kept)."""
+        with self._lock:
+            self._store.clear()
+
+    def stats(self) -> dict[str, Any]:
+        """Snapshot of the pool accounting."""
+        with self._lock:
+            return {
+                "entries": len(self._store),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)

@@ -1,0 +1,44 @@
+"""Deterministic per-task seed derivation, shared across execution layers.
+
+Both the parallel runner (:mod:`repro.runner.pool` — serial fallback and
+worker pool alike) and the analysis service (:mod:`repro.service`) promise
+the same reproducibility contract: task *i* of a run with base seed *s*
+observes exactly the same RNG state no matter which worker, process, or
+queue position executes it.  That only holds if every layer derives the
+per-task seed the same way, so the derivation lives here, in one place,
+and the layers import it instead of keeping private copies.
+
+The fold is a ``blake2b`` digest of ``"{base}:{index}"`` — independent of
+chunking, worker assignment, and submission order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "reseed"]
+
+
+def derive_seed(base: int | None, index: int) -> int | None:
+    """Per-task seed: a blake2b fold of ``(base, index)``, independent of
+    chunking and worker assignment (None stays None — no reseeding)."""
+    if base is None:
+        return None
+    digest = hashlib.blake2b(f"{base}:{index}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def reseed(seed: int | None) -> None:
+    """Reseed the global RNGs (``random`` + numpy legacy) for one task.
+
+    ``None`` is a no-op, matching :func:`derive_seed`'s passthrough."""
+    if seed is None:
+        return
+    random.seed(seed)
+    try:
+        import numpy as np
+
+        np.random.seed(seed % 2**32)
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass

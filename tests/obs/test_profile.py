@@ -17,6 +17,7 @@ from repro.obs.profile import (
     profile_report,
     prometheus_text,
     read_trace_jsonl,
+    service_breakdown,
     write_collapsed,
     write_profile,
 )
@@ -238,6 +239,37 @@ class TestDispatchAndCache:
         assert cache["consistent"] is True
 
 
+class TestServiceBreakdown:
+    def test_admission_and_outcomes(self):
+        reg = MetricsRegistry()
+        reg.counter("service.submitted").inc(10)
+        reg.counter("service.accepted").inc(6)
+        reg.counter("service.rejected", reason="infeasible").inc(3)
+        reg.counter("service.rejected", reason="queue-full").inc(1)
+        reg.counter("service.completed", state="done").inc(5)
+        reg.counter("service.completed", state="failed").inc(1)
+        reg.counter("service.retries").inc(2)
+        reg.gauge("service.admission.required").set(4200.0)
+        reg.gauge("service.admission.capacity").set(1000.0)
+        reg.counter("service.evalpool.hits").inc(7)
+        reg.counter("service.evalpool.misses").inc(2)
+        service = service_breakdown(reg.snapshot())
+        assert service["submitted"] == 10
+        assert service["accepted"] == 6
+        assert service["rejected"] == {"infeasible": 3, "queue-full": 1}
+        assert service["completed"] == {"done": 5, "failed": 1}
+        assert service["retries"] == 2
+        assert service["admission"]["required"] == 4200.0
+        assert service["admission"]["capacity"] == 1000.0
+        assert service["evalpool"]["hits"] == 7
+
+    def test_empty_snapshot_is_all_zeros(self):
+        service = service_breakdown(MetricsRegistry().snapshot())
+        assert service["submitted"] == 0
+        assert service["rejected"] == {}
+        assert service["admission"]["capacity"] is None
+
+
 class TestProfileReport:
     def test_schema_and_sections(self, tmp_path):
         records = [_span("k", 0.0, 0.5, 0)]
@@ -246,7 +278,8 @@ class TestProfileReport:
         report = profile_report(records, reg.snapshot())
         assert report["schema"] == PROFILE_SCHEMA
         assert set(report) == {
-            "schema", "trace", "stacks", "dispatch", "cache", "quantiles",
+            "schema", "trace", "stacks", "dispatch", "cache", "service",
+            "quantiles",
         }
         path = tmp_path / "profile.json"
         write_profile(report, path)

@@ -1,0 +1,123 @@
+"""Tests for the self-characterizing eq. (8) admission controller."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import registry
+from repro.service.admission import AdmissionController
+from repro.util.validation import ValidationError
+
+
+def controller(**overrides) -> AdmissionController:
+    defaults = dict(
+        capacity=1000.0, queue_bound=4, window=256, min_history=8, refresh_every=4
+    )
+    defaults.update(overrides)
+    return AdmissionController(**defaults)
+
+
+class TestBootstrap:
+    def test_first_requests_admitted_blind(self):
+        ac = controller(min_history=8)
+        for i in range(7):
+            decision = ac.admit(10.0, now=float(i))
+            assert decision.accepted and decision.reason == "bootstrap"
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValidationError):
+            controller(capacity=0.0)
+        with pytest.raises(ValidationError):
+            controller(queue_bound=0)
+        with pytest.raises(ValidationError):
+            controller(window=2)
+
+
+class TestFeasibleLoad:
+    def test_light_load_accepted(self):
+        ac = controller()
+        now = 0.0
+        for _ in range(60):
+            now += 0.5  # 2 req/s of 10 ms work: ~20 units/s << 1000
+            decision = ac.admit(10.0, now=now)
+            assert decision.accepted, decision
+        assert ac.rejected == 0
+        assert ac.accepted == 60
+        required = ac.required_capacity()
+        assert required is not None and required < ac.capacity
+        assert ac.feasible()
+
+    def test_characterization_produces_curves(self):
+        ac = controller()
+        now = 0.0
+        for _ in range(40):
+            now += 0.25
+            ac.admit(5.0, now=now)
+        assert ac.arrival_curve() is not None
+        assert ac.demand_curve() is not None
+        # the workload curve's first value bounds one request's demand
+        assert ac.demand_curve()(1) >= 5.0
+
+
+class TestOverload:
+    def test_synthetic_overload_sheds(self):
+        ac = controller(capacity=100.0)
+        registry.reset("service.")
+        now = 0.0
+        for _ in range(120):
+            now += 0.001  # 1000 req/s of 100 ms work: ~100000 units/s
+            ac.admit(100.0, now=now)
+        assert ac.rejected > 0
+        assert not ac.feasible()
+        required = ac.required_capacity()
+        assert required is not None and required > ac.capacity
+        # decisions are visible in the obs registry (obs report section)
+        rejected = registry.counter("service.rejected", reason="infeasible").value
+        assert rejected == ac.rejected
+        assert registry.counter("service.accepted").value == ac.accepted
+
+    def test_recovery_after_load_drops(self):
+        ac = controller(capacity=500.0, window=64, refresh_every=4)
+        now = 0.0
+        for _ in range(80):
+            now += 0.001
+            ac.admit(100.0, now=now)
+        assert not ac.feasible()
+        # the storm ends; a slow trickle refills the rolling window
+        for _ in range(80):
+            now += 2.0
+            ac.admit(1.0, now=now)
+        assert ac.feasible()
+        assert ac.admit(1.0, now=now + 2.0).accepted
+
+
+class TestSelfCharacterization:
+    def test_measured_costs_replace_static_estimates(self):
+        ac = controller()
+        assert ac.estimate("frequency", 200.0) == 200.0  # static prior
+        ac.record_cost("frequency", 80.0)
+        assert ac.estimate("frequency", 200.0) == 80.0
+        ac.record_cost("frequency", 40.0)  # EMA pulls toward new samples
+        assert 40.0 < ac.estimate("frequency", 200.0) < 80.0
+
+    def test_stats_snapshot_is_jsonable(self):
+        import json
+
+        ac = controller()
+        now = 0.0
+        for _ in range(20):
+            now += 0.1
+            ac.admit(3.0, now=now)
+        ac.record_cost("sleep", 1.5)
+        stats = ac.stats()
+        json.dumps(stats)
+        assert stats["observed"] == 20
+        assert stats["accepted"] == 20
+        assert stats["cost_ema"]["sleep"] == 1.5
+
+    def test_monotonicity_guard_on_injected_clock(self):
+        ac = controller()
+        ac.observe(1.0, now=5.0)
+        ac.observe(1.0, now=3.0)  # clock skew: clamped, not crashed
+        ac.observe(1.0, now=6.0)
+        assert ac.observed == 3

@@ -1,0 +1,94 @@
+"""Tests for the warm evaluator pool (LRU by parameter digest)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.service.evalpool import EvaluatorPool
+
+
+class TestPool:
+    def test_miss_builds_hit_reuses(self):
+        pool = EvaluatorPool(max_entries=4)
+        built = []
+
+        def builder():
+            built.append(1)
+            return object()
+
+        first = pool.get(builder, frames=12, growth=1.05)
+        second = pool.get(builder, frames=12, growth=1.05)
+        assert first is second
+        assert len(built) == 1
+        assert pool.stats()["hits"] == 1
+        assert pool.stats()["misses"] == 1
+
+    def test_distinct_params_distinct_entries(self):
+        pool = EvaluatorPool(max_entries=4)
+        a = pool.get(object, frames=12)
+        b = pool.get(object, frames=24)
+        assert a is not b
+        assert len(pool) == 2
+
+    def test_digest_is_order_insensitive(self):
+        assert EvaluatorPool.digest({"a": 1, "b": 2}) == EvaluatorPool.digest(
+            {"b": 2, "a": 1}
+        )
+
+    def test_lru_eviction_order(self):
+        pool = EvaluatorPool(max_entries=2)
+        a = pool.get(object, key="a")
+        pool.get(object, key="b")
+        # touch a so b is now the least recently used
+        assert pool.get(object, key="a") is a
+        pool.get(object, key="c")  # evicts b
+        assert pool.stats()["evictions"] == 1
+        assert pool.get(object, key="a") is a  # still resident
+        rebuilt = []
+        pool.get(lambda: rebuilt.append(1) or object(), key="b")
+        assert rebuilt, "b must have been evicted and rebuilt"
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            EvaluatorPool(max_entries=0)
+
+    def test_clear_keeps_counters(self):
+        pool = EvaluatorPool()
+        pool.get(object, x=1)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.stats()["misses"] == 1
+
+    def test_thread_safety_under_racing_gets(self):
+        pool = EvaluatorPool(max_entries=8)
+        results = []
+
+        def worker():
+            for i in range(50):
+                results.append(pool.get(object, slot=i % 4))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 200
+        assert len(pool) == 4
+
+
+class TestSweepIntegration:
+    def test_sweep_frequency_evaluator_uses_pool(self):
+        from repro.experiments.common import _evaluator_pool, sweep_frequency_evaluator
+
+        pool = _evaluator_pool()
+        before = pool.stats()["hits"]
+        first = sweep_frequency_evaluator(
+            frames=12, dense_limit=512, growth=1.05
+        )
+        second = sweep_frequency_evaluator(
+            frames=12, dense_limit=512, growth=1.05
+        )
+        assert first is second
+        assert pool.stats()["hits"] > before
