@@ -1,0 +1,152 @@
+"""Benchmark gates for the vectorized simulation engine.
+
+Two acceptance gates, both written to ``BENCH_sim.json`` (and from there
+folded into the trajectory store like every other BENCH file):
+
+* **chain replay** — the vectorized max-plus replay
+  (:func:`~repro.simulation.chain.replay_chain`) of a 4-stage tandem
+  chain over 250k items (one million stage-events) must be at least 20x
+  faster than the event-driven oracle, *and* bit-identical to it: the
+  benchmark inputs are dyadic rationals, so both float computations are
+  exact and the departures matrices must be ``array_equal``.
+* **sorted bulk loading** — draining one million pre-sorted events
+  bulk-loaded through
+  :meth:`~repro.simulation.kernel.Simulator.schedule_sorted` (the
+  constant-memory lazy cursor) must beat one million individual
+  :meth:`~repro.simulation.kernel.Simulator.schedule` pushes by at least
+  1.5x end to end (load + drain).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.simulation import Simulator, replay_chain, simulate_chain
+
+BENCH_PATH = Path(__file__).parent / "BENCH_sim.json"
+
+#: Chain gate shape: 4 stages x 250k items = 1M stage-events.
+CHAIN_STAGES = 4
+CHAIN_ITEMS = 250_000
+CHAIN_SPEEDUP_GATE = 20.0
+
+#: Kernel gate shape: 1M pre-sorted events, bulk vs per-event loading.
+KERNEL_EVENTS = 1_000_000
+KERNEL_SPEEDUP_GATE = 1.5
+
+
+def _merge_report(section: str, payload: dict) -> None:
+    report = {}
+    if BENCH_PATH.exists():
+        report = json.loads(BENCH_PATH.read_text())
+    report[section] = payload
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+
+def _dyadic_chain_trace() -> tuple[np.ndarray, np.ndarray]:
+    """A 4-stage trace whose times are all exact in float64.
+
+    Gaps are multiples of 1/4 and demands multiples of 1/16 against
+    power-of-two frequencies, so the sequential oracle and the cumsum
+    replay compute identical floats — the speedup gate can then also
+    assert bitwise agreement instead of a tolerance.
+    """
+    rng = np.random.default_rng(20240607)
+    arrivals = np.cumsum(rng.integers(0, 8, CHAIN_ITEMS) / 4.0)
+    demands = rng.integers(1, 64, (CHAIN_STAGES, CHAIN_ITEMS)) / 16.0
+    return arrivals, demands
+
+
+def test_chain_replay_speedup_gate():
+    """Vectorized N-stage replay must be >= 20x the event-driven oracle."""
+    arrivals, demands = _dyadic_chain_trace()
+    frequencies = [2.0, 1.0, 2.0, 4.0]
+    capacities = [64, None, 64, None]
+
+    t0 = time.perf_counter()
+    oracle = simulate_chain(arrivals, demands, frequencies, capacities=capacities)
+    event_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    replay = replay_chain(arrivals, demands, frequencies, capacities=capacities)
+    replay_seconds = time.perf_counter() - t0
+
+    # same trace, same floats: the replay must agree with the oracle
+    # bit for bit, not merely within tolerance
+    assert np.array_equal(replay.departures, oracle.departures)
+    assert replay.stage_stats == oracle.stage_stats
+
+    speedup = event_seconds / replay_seconds
+    _merge_report(
+        "chain_replay",
+        {
+            "stages": CHAIN_STAGES,
+            "items": CHAIN_ITEMS,
+            "stage_events": CHAIN_STAGES * CHAIN_ITEMS,
+            "event_driven_seconds": event_seconds,
+            "replay_seconds": replay_seconds,
+            "speedup": speedup,
+            "max_backlogs": list(replay.max_backlogs),
+        },
+    )
+    print(
+        f"chain replay: event-driven {event_seconds:.2f}s, "
+        f"replay {replay_seconds * 1e3:.1f}ms ({speedup:.0f}x)"
+    )
+    assert speedup >= CHAIN_SPEEDUP_GATE, (
+        f"chain replay only {speedup:.1f}x faster than the event-driven "
+        f"oracle (gate: {CHAIN_SPEEDUP_GATE}x)"
+    )
+
+
+def test_schedule_sorted_bulk_load_gate():
+    """Bulk-loading 1M sorted events must beat per-event pushes >= 1.5x."""
+    times = np.cumsum(
+        np.random.default_rng(7).integers(0, 8, KERNEL_EVENTS) / 4.0
+    )
+    fired = [0]
+
+    def on_event() -> None:
+        fired[0] += 1
+
+    def on_indexed(index: int) -> None:
+        fired[0] += 1
+
+    t0 = time.perf_counter()
+    eager = Simulator()
+    for t in times.tolist():
+        eager.schedule(t, on_event)
+    eager.run()
+    eager_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bulk = Simulator()
+    assert bulk.schedule_sorted(times, on_indexed) == KERNEL_EVENTS
+    assert bulk.pending == KERNEL_EVENTS
+    bulk.run()
+    bulk_seconds = time.perf_counter() - t0
+
+    assert fired[0] == 2 * KERNEL_EVENTS
+    assert bulk.pending == 0
+    assert bulk.now == eager.now
+
+    speedup = eager_seconds / bulk_seconds
+    _merge_report(
+        "schedule_sorted",
+        {
+            "events": KERNEL_EVENTS,
+            "per_event_seconds": eager_seconds,
+            "bulk_seconds": bulk_seconds,
+            "speedup": speedup,
+        },
+    )
+    print(
+        f"schedule_sorted: per-event {eager_seconds:.2f}s, "
+        f"bulk {bulk_seconds:.2f}s ({speedup:.1f}x)"
+    )
+    assert speedup >= KERNEL_SPEEDUP_GATE, (
+        f"bulk loading only {speedup:.2f}x faster than per-event pushes "
+        f"(gate: {KERNEL_SPEEDUP_GATE}x)"
+    )

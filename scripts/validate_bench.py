@@ -12,7 +12,10 @@ the compaction PR, so its sections are checked key-by-key (chain speedup
 present and >= 1, eval counts positive, relative gap finite).
 ``BENCH_minplus.json`` carries the backend-gate numbers: its backend
 sections must name the backend that produced them and report a speedup
->= 1 over the reference kernel.  When a trajectory store exists, every
+>= 1 over the reference kernel.  ``BENCH_sim.json`` carries the
+simulation-engine gates: the N-stage chain replay must cover at least a
+million stage-events and beat the event-driven oracle by its gate
+factor, and the kernel's sorted bulk loader must beat per-event pushes.  When a trajectory store exists, every
 BENCH section naming a backend is additionally cross-checked against the
 latest trajectory record's backend claims, so a BENCH file regenerated
 under a different backend cannot silently desynchronize from the history
@@ -118,6 +121,30 @@ SERVICE_SECTIONS = {
 
 #: Speedup floors of the service gates (same numbers the tests assert).
 SERVICE_SPEEDUP_FLOORS = {"warm_evaluator": 3.0, "sharded_cache": 2.0}
+
+
+#: Required keys per gate section of BENCH_sim.json — the gates in
+#: benchmarks/test_bench_sim.py write exactly these.
+SIM_SECTIONS = {
+    "chain_replay": {
+        "stages",
+        "items",
+        "stage_events",
+        "event_driven_seconds",
+        "replay_seconds",
+        "speedup",
+        "max_backlogs",
+    },
+    "schedule_sorted": {
+        "events",
+        "per_event_seconds",
+        "bulk_seconds",
+        "speedup",
+    },
+}
+
+#: Speedup floors of the simulation gates (same numbers the tests assert).
+SIM_SPEEDUP_FLOORS = {"chain_replay": 20.0, "schedule_sorted": 1.5}
 
 
 def fail(message: str) -> None:
@@ -230,6 +257,32 @@ def validate_service(path: Path) -> None:
         fail(f"{path}: admission_control: feasible trickle was shed")
 
 
+def validate_sim(path: Path) -> None:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    for section, required in SIM_SECTIONS.items():
+        payload = report.get(section)
+        if payload is None:
+            fail(f"{path}: missing simulation-gate section {section!r}")
+        missing = required - payload.keys()
+        if missing:
+            fail(f"{path}: {section}: missing keys {sorted(missing)}")
+    for section, floor in SIM_SPEEDUP_FLOORS.items():
+        speedup = report[section]["speedup"]
+        if speedup < floor:
+            fail(
+                f"{path}: {section}: speedup {speedup:.2f}x below the "
+                f"{floor}x gate"
+            )
+    chain = report["chain_replay"]
+    if chain["stage_events"] != chain["stages"] * chain["items"]:
+        fail(f"{path}: chain_replay: inconsistent stage-event count")
+    if chain["stage_events"] < 1_000_000:
+        fail(
+            f"{path}: chain_replay: gate must cover at least one million "
+            f"stage-events (got {chain['stage_events']})"
+        )
+
+
 def validate_trajectory_backends(bench_dir: Path, trajectory_path: Path) -> int:
     """Cross-check BENCH backends against the latest trajectory record.
 
@@ -311,6 +364,8 @@ def main(argv: list[str] | None = None) -> int:
             validate_minplus(path)
         if path.name == "BENCH_service.json":
             validate_service(path)
+        if path.name == "BENCH_sim.json":
+            validate_sim(path)
         print(f"{path}: {sections} sections ok")
     trajectory_path = args.trajectory or args.bench_dir / "TRAJECTORY.jsonl"
     checked = validate_trajectory_backends(args.bench_dir, trajectory_path)

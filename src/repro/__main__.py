@@ -402,6 +402,23 @@ def _sweep_main(argv: list[str]) -> int:
         "SOCKET (python -m repro serve) instead of a local worker pool; "
         "--parallel/--cache-dir/--seed are then the daemon's concern",
     )
+    parser.add_argument(
+        "--sim-validate",
+        action="store_true",
+        help="cross-check each point against the simulation engine: "
+        "generate a seeded open-system trace calibrated to the case "
+        "study's rates, compute the eq. (7) bound from that trace's own "
+        "curves at F_gamma, and replay the same trace through the "
+        "vectorized chain — the bound/observed gap lands in the point "
+        "data and manifest",
+    )
+    parser.add_argument(
+        "--sim-items",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="items per generated validation trace (default: 4096)",
+    )
     _add_compact_arguments(parser)
     _add_runner_arguments(parser)
     _add_obs_arguments(parser)
@@ -444,6 +461,9 @@ def _sweep_main(argv: list[str]) -> int:
                     "compact_error": args.compact_error,
                     "backend": args.backend,
                     "bisect": args.bisect,
+                    "sim_validate": args.sim_validate,
+                    "sim_items": args.sim_items,
+                    "sim_seed": args.seed or 0,
                 },
                 max_workers=args.parallel,
                 cache_dir=args.cache_dir,
@@ -463,8 +483,11 @@ def _sweep_main(argv: list[str]) -> int:
     wall = time.perf_counter() - t0
 
     failures = []
+    columns = ["b (MB)", "F_gamma (MHz)", "F_wcet (MHz)", "savings", "backlog (events)"]
+    if args.sim_validate:
+        columns.append("sim bound/observed")
     table = TextTable(
-        ["b (MB)", "F_gamma (MHz)", "F_wcet (MHz)", "savings", "backlog (events)"],
+        columns,
         title=f"Frequency/backlog sweep, frames={args.frames}, "
         + (f"service={args.service}" if args.service else f"workers={args.parallel}"),
     )
@@ -475,15 +498,20 @@ def _sweep_main(argv: list[str]) -> int:
             continue
         results.append(result)
         data = result.data
-        table.add_row(
-            [
-                str(data["buffer_size"]),
-                f"{data['f_gamma_hz'] / 1e6:.1f}",
-                f"{data['f_wcet_hz'] / 1e6:.1f}",
-                f"{data['savings'] * 100:.1f}%",
-                f"{data['backlog_events']:.1f}",
-            ]
-        )
+        row = [
+            str(data["buffer_size"]),
+            f"{data['f_gamma_hz'] / 1e6:.1f}",
+            f"{data['f_wcet_hz'] / 1e6:.1f}",
+            f"{data['savings'] * 100:.1f}%",
+            f"{data['backlog_events']:.1f}",
+        ]
+        if args.sim_validate:
+            bound = data.get("sim_bound_events")
+            row.append(
+                ("unbounded" if bound is None else f"{bound:.1f}")
+                + f"/{data.get('sim_observed_backlog', '-')}"
+            )
+        table.add_row(row)
     print(table.render())
     print(f"\n{len(results)}/{len(buffers)} points in {wall:.2f}s")
 
@@ -508,6 +536,8 @@ def _sweep_main(argv: list[str]) -> int:
                 "backend": args.backend,
                 "parallel": args.parallel,
                 "seed": args.seed,
+                "sim_validate": args.sim_validate,
+                "sim_items": args.sim_items,
             },
             wall_time_s=wall,
             metrics=registry.snapshot(),
@@ -541,6 +571,9 @@ def _sweep_via_service(args: argparse.Namespace, buffers: list[int]) -> list:
         "compact_error": args.compact_error,
         "backend": args.backend,
         "bisect": args.bisect,
+        "sim_validate": args.sim_validate,
+        "sim_items": args.sim_items,
+        "sim_seed": args.seed or 0,
     }
     outcomes: list = []
     with ServiceClient(args.service) as client:
@@ -780,6 +813,51 @@ def _obs_report(args: argparse.Namespace, parser: argparse.ArgumentParser) -> in
                     f"{_fmt(float(pool['misses']))} misses, "
                     f"{_fmt(float(pool['evictions']))} evictions"
                 )
+        sim = report["simulation"]
+        if sim["chain"]["runs"] or sim["fifos"] or sim["workload_items"]:
+            print()
+            table = TextTable(
+                ["simulation", "count"], title="Simulation engine (sim.* family)"
+            )
+            for impl, count in sim["chain"]["runs"].items():
+                table.add_row([f"chain runs[{impl}]", _fmt(float(count))])
+            for impl, count in sim["chain"]["item_stages"].items():
+                table.add_row([f"chain item-stages[{impl}]", _fmt(float(count))])
+            for model, count in sim["workload_items"].items():
+                table.add_row([f"workload items[{model}]", _fmt(float(count))])
+            print(table.render())
+            if sim["chain"]["stages"]:
+                sub = TextTable(
+                    ["stage", "high water", "overflows", "busy (s)"],
+                    title="Chain stages",
+                )
+                for stage, row in sim["chain"]["stages"].items():
+                    sub.add_row(
+                        [
+                            stage,
+                            _fmt(float(row.get("high_water", 0))),
+                            _fmt(float(row.get("overflows", 0))),
+                            f"{float(row.get('busy_seconds', 0.0)):.4f}",
+                        ]
+                    )
+                print()
+                print(sub.render())
+            if sim["fifos"]:
+                sub = TextTable(
+                    ["fifo", "high water", "pushed", "overflows"],
+                    title="Pipeline FIFOs",
+                )
+                for fifo, row in sim["fifos"].items():
+                    sub.add_row(
+                        [
+                            fifo,
+                            _fmt(float(row.get("high_water", 0))),
+                            _fmt(float(row.get("pushed", 0))),
+                            _fmt(float(row.get("overflows", 0))),
+                        ]
+                    )
+                print()
+                print(sub.render())
         if report["quantiles"]:
             print()
             table = TextTable(

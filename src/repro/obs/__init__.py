@@ -70,6 +70,7 @@ from repro.obs.profile import (
     histogram_quantiles,
     profile_report,
     service_breakdown,
+    simulation_breakdown,
     prometheus_text,
     read_trace_jsonl,
     write_collapsed,
@@ -126,6 +127,7 @@ __all__ = [
     "histogram_quantiles",
     "profile_report",
     "service_breakdown",
+    "simulation_breakdown",
     "prometheus_text",
     "read_trace_jsonl",
     "write_collapsed",

@@ -50,6 +50,7 @@ __all__ = [
     "dispatch_breakdown",
     "cache_tiers",
     "service_breakdown",
+    "simulation_breakdown",
     "profile_report",
     "write_profile",
     "prometheus_text",
@@ -428,6 +429,60 @@ def service_breakdown(snapshot: dict[str, Any]) -> dict[str, Any]:
     }
 
 
+def simulation_breakdown(snapshot: dict[str, Any]) -> dict[str, Any]:
+    """Simulation-engine accounting out of a metrics *snapshot*.
+
+    Summarizes the ``sim.*`` metrics family: chain runs and item-stage
+    throughput split by implementation (``sim.chain.runs{impl=...}`` —
+    the vectorized replay vs. the event-driven oracle), per-stage FIFO
+    high-water marks, overflow counts, and PE busy time
+    (``sim.chain.high_water{stage=k}`` etc.), the two-PE pipeline's FIFO
+    and PE series, and workload-generator output by arrival model
+    (``sim.workload.items{model=...}``).  All empty when no simulation
+    ran — ``obs report`` skips the section then.
+    """
+    stages: dict[str, dict[str, int | float]] = {}
+    for entry in snapshot.get("gauges", ()):
+        if entry["name"] != "sim.chain.high_water":
+            continue
+        key = str(entry["labels"].get("stage"))
+        row = stages.setdefault(key, {})
+        row["high_water"] = max(row.get("high_water", 0), entry["value"])
+    for name, field in (
+        ("sim.chain.overflows", "overflows"),
+        ("sim.chain.busy_seconds", "busy_seconds"),
+    ):
+        for key, value in _group_counters(snapshot, name, "stage").items():
+            if key == "None":
+                continue
+            stages.setdefault(key, {})[field] = value
+    fifos: dict[str, dict[str, int | float]] = {}
+    for entry in snapshot.get("gauges", ()):
+        if entry["name"] != "sim.fifo.high_water":
+            continue
+        key = str(entry["labels"].get("fifo"))
+        row = fifos.setdefault(key, {})
+        row["high_water"] = max(row.get("high_water", 0), entry["value"])
+    for name, field in (
+        ("sim.fifo.pushed", "pushed"),
+        ("sim.fifo.overflows", "overflows"),
+    ):
+        for key, value in _group_counters(snapshot, name, "fifo").items():
+            if key == "None":
+                continue
+            fifos.setdefault(key, {})[field] = value
+    return {
+        "chain": {
+            "runs": _group_counters(snapshot, "sim.chain.runs", "impl"),
+            "item_stages": _group_counters(snapshot, "sim.chain.items", "impl"),
+            "stages": dict(sorted(stages.items())),
+        },
+        "fifos": dict(sorted(fifos.items())),
+        "pe_busy_seconds": _group_counters(snapshot, "sim.pe.busy_seconds", "pe"),
+        "workload_items": _group_counters(snapshot, "sim.workload.items", "model"),
+    }
+
+
 def profile_report(
     trace_records: Iterable[dict[str, Any]] | None = None,
     metrics_snapshot: dict[str, Any] | None = None,
@@ -450,6 +505,7 @@ def profile_report(
         report["dispatch"] = dispatch_breakdown(metrics_snapshot)
         report["cache"] = cache_tiers(metrics_snapshot)
         report["service"] = service_breakdown(metrics_snapshot)
+        report["simulation"] = simulation_breakdown(metrics_snapshot)
         report["quantiles"] = histogram_quantiles(
             metrics_snapshot, quantiles=quantiles
         )

@@ -105,6 +105,9 @@ def _op_frequency(params: dict[str, Any]) -> dict[str, Any]:
     result = frequency_backlog_point(
         buffer_size=check_integer(params.get("buffer_size"), "buffer_size", minimum=1),
         bisect=bool(params.get("bisect", False)),
+        sim_validate=bool(params.get("sim_validate", False)),
+        sim_items=int(params.get("sim_items", 4096)),
+        sim_seed=int(params.get("sim_seed", 0)),
         **_context_kwargs(params),
     )
     return {

@@ -1,14 +1,33 @@
 """Transaction-level simulation substrate (paper Figures 5 and 7).
 
-A small discrete-event kernel plus FIFO and processing-element models, and
-the two-PE pipeline testbed in both event-driven and closed-form-replay
-form (cross-validated against each other).
+A small discrete-event kernel (with O(n) bulk loading of pre-sorted
+event arrays) plus FIFO and processing-element models; the two-PE
+pipeline testbed and its N-stage tandem generalization, each in both
+event-driven and closed-form vectorized-replay form (cross-validated
+against each other); and seeded open-system workload generators
+(Poisson/constant/uniform arrivals, long-task fractions, heterogeneous
+client mixes) whose traces feed the simulators and the workload-curve
+extraction alike.
 """
 
 from repro.simulation.kernel import Simulator
 from repro.simulation.fifo import Fifo
 from repro.simulation.pe import ProcessingElement
 from repro.simulation.pipeline import PipelineResult, simulate_pipeline, replay_pipeline
+from repro.simulation.chain import (
+    ChainResult,
+    StageStats,
+    replay_chain,
+    simulate_chain,
+)
+from repro.simulation.workloads import (
+    ARRIVAL_MODELS,
+    ClientProfile,
+    GeneratedWorkload,
+    WorkloadSpec,
+    generate_workload,
+    scenario_grid,
+)
 
 __all__ = [
     "Simulator",
@@ -17,4 +36,14 @@ __all__ = [
     "PipelineResult",
     "simulate_pipeline",
     "replay_pipeline",
+    "ChainResult",
+    "StageStats",
+    "replay_chain",
+    "simulate_chain",
+    "ARRIVAL_MODELS",
+    "ClientProfile",
+    "GeneratedWorkload",
+    "WorkloadSpec",
+    "generate_workload",
+    "scenario_grid",
 ]

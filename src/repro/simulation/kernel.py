@@ -3,15 +3,26 @@
 The paper's experiments run on a SystemC transaction-level model; this
 kernel provides the same semantics in a few dozen lines: time-stamped
 events in a priority queue, executed in order, each free to schedule
-further events.  Determinism is guaranteed by a (time, sequence) ordering —
-events at equal times run in scheduling order.
+further events.  Determinism is guaranteed by a (time, priority,
+sequence) ordering — events at equal times run in ascending priority,
+then scheduling order.
+
+Two scheduling paths exist: :meth:`Simulator.schedule` pushes one event
+onto the heap (O(log n)), and :meth:`Simulator.schedule_sorted`
+bulk-loads a pre-sorted event array as a constant-memory lazy cursor —
+the fast path for million-event traces whose arrival times are known up
+front, where n individual heap pushes into an n-entry heap (and the
+per-event closure each usually carries) dominate run time and peak
+memory.
 """
 
 from __future__ import annotations
 
 import heapq
 import math
-from typing import Callable
+from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.util.validation import ValidationError, check_non_negative
 
@@ -31,9 +42,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._queue: list[tuple[float, int, int, Callable[[], None]]] = []
+        self._queue: list[tuple] = []
         self._sequence = 0
         self._running = False
+        self._deferred = 0
 
     @property
     def now(self) -> float:
@@ -42,8 +54,9 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled, not-yet-executed events."""
-        return len(self._queue)
+        """Number of scheduled, not-yet-executed events (materialized heap
+        entries plus events of bulk-loaded batches not yet reached)."""
+        return len(self._queue) + self._deferred
 
     def schedule(self, time: float, action: Callable[[], None], *, priority: int = 0) -> None:
         """Schedule *action* at absolute *time* (>= now).
@@ -57,13 +70,74 @@ class Simulator:
             raise ValidationError(
                 f"cannot schedule into the past: time={time!r} < now={self._now!r}"
             )
-        heapq.heappush(self._queue, (time, priority, self._sequence, action))
+        heapq.heappush(self._queue, (time, priority, self._sequence, action, ()))
         self._sequence += 1
 
     def schedule_in(self, delay: float, action: Callable[[], None], *, priority: int = 0) -> None:
         """Schedule *action* to run *delay* seconds from now."""
         check_non_negative(delay, "delay")
         self.schedule(self._now + delay, action, priority=priority)
+
+    def schedule_sorted(
+        self,
+        times: Sequence[float],
+        action: Callable[[int], None],
+        *,
+        priority: int = 0,
+        start_index: int = 0,
+    ) -> int:
+        """Bulk-load one event per entry of the non-decreasing *times*.
+
+        The i-th event calls ``action(start_index + i)`` at ``times[i]``.
+        The batch is validated vectorially and held as a lazy cursor:
+        only the batch's *next* event is materialized in the heap, and
+        firing it re-arms the cursor with the one after.  The heap
+        therefore stays at its dynamic-event size instead of growing by
+        the whole trace — pushes and pops stay O(log m) in the small live
+        set ``m``, and peak memory is O(1) per batch rather than one heap
+        entry (plus the usual per-event closure) per item.  End to end
+        this is severalfold faster than per-event :meth:`schedule` on
+        million-event traces (gated in ``benchmarks/test_bench_sim.py``).
+
+        A contiguous sequence range is reserved for the whole batch up
+        front, so tie-breaking among equal-time, equal-priority events is
+        *identical* to having scheduled the batch eagerly — events
+        scheduled after this call sort after the batch's events at the
+        same (time, priority).  Returns the number of events loaded.
+        """
+        arr = np.asarray(times, dtype=float)
+        if arr.ndim != 1:
+            raise ValidationError("schedule_sorted times must be a 1-D array")
+        n = arr.size
+        if n == 0:
+            return 0
+        # NaN fails every comparison, so the monotonicity check rejects it
+        if not (arr[0] >= self._now - 1e-12 and arr[0] >= 0.0):
+            raise ValidationError(
+                f"schedule_sorted times must start at or after now: "
+                f"times[0]={arr[0]!r}, now={self._now!r}"
+            )
+        if not bool(np.all(arr[1:] >= arr[:-1])):
+            raise ValidationError("schedule_sorted times must be non-decreasing")
+        if math.isinf(arr[-1]):
+            raise ValidationError("schedule_sorted times must be finite")
+        base = self._sequence
+        self._sequence = base + n
+        batch = arr.tolist()
+        queue = self._queue
+
+        def fire(index: int) -> None:
+            nxt = index + 1
+            if nxt < n:
+                self._deferred -= 1
+                heapq.heappush(
+                    queue, (batch[nxt], priority, base + nxt, fire, (nxt,))
+                )
+            action(start_index + index)
+
+        self._deferred += n - 1
+        heapq.heappush(queue, (batch[0], priority, base, fire, (0,)))
+        return n
 
     def run(self, until: float = math.inf) -> None:
         """Execute events in time order until the queue drains or the next
@@ -74,12 +148,12 @@ class Simulator:
         self._running = True
         try:
             while self._queue:
-                time, _prio, _seq, action = self._queue[0]
+                time, _prio, _seq, action, args = self._queue[0]
                 if time > until:
                     self._now = until
                     return
                 heapq.heappop(self._queue)
                 self._now = time
-                action()
+                action(*args)
         finally:
             self._running = False

@@ -1,0 +1,315 @@
+"""Open-system workload generators for the simulation engine.
+
+The paper's testbed replays *closed* traces (the clip generator's PE1
+output); checking the analytic bounds over much wider scenario grids
+needs *open-system* arrival models in the style of the absim simulator:
+Poisson, constant, and uniform inter-arrival processes, a configurable
+fraction of long tasks, and weighted heterogeneous client mixes.  This
+module provides those as seeded, fully vectorized samplers — one
+:class:`WorkloadSpec` describes a scenario, :meth:`WorkloadSpec.generate`
+draws the whole ``(arrivals, demands)`` trace with numpy batch calls (no
+Python-level per-item loop), and the resulting
+:class:`GeneratedWorkload` feeds the simulators
+(:func:`~repro.simulation.chain.replay_chain`,
+:func:`~repro.simulation.pipeline.simulate_pipeline`) and the workload
+curve extraction
+(:meth:`~repro.core.workload.WorkloadCurve.from_demand_stream` via
+:meth:`GeneratedWorkload.demand_chunks`) alike, so analysis bounds and
+simulated backlogs can be compared on the same generated trace.
+
+Determinism: all sampling goes through ``np.random.default_rng`` (PCG64)
+with an explicit seed and a fixed draw order (gaps, then client
+assignment, then demand noise, then the long-task mask), so the same
+seed yields a byte-identical trace on any worker, process, or platform.
+Scenario grids derive per-point seeds with
+:func:`repro.util.seeding.derive_seed`, the same fold the parallel
+runner and the analysis service use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.obs.metrics import registry
+from repro.obs.tracing import tracer
+from repro.util.seeding import derive_seed
+from repro.util.validation import ValidationError, check_integer, check_positive
+
+__all__ = [
+    "ARRIVAL_MODELS",
+    "ClientProfile",
+    "WorkloadSpec",
+    "GeneratedWorkload",
+    "generate_workload",
+    "scenario_grid",
+]
+
+#: Supported inter-arrival models (absim's poisson/constant plus uniform).
+ARRIVAL_MODELS = ("poisson", "constant", "uniform")
+
+
+@dataclass(frozen=True)
+class ClientProfile:
+    """One client class of a heterogeneous open-system mix.
+
+    Attributes
+    ----------
+    name:
+        Label of the class (recorded in scenario manifests).
+    weight:
+        Relative share of items this class emits (absim's
+        ``demandWeight``); normalized over the mix.
+    demand_scale:
+        Multiplier on the base per-item demand for this class.
+    """
+
+    name: str
+    weight: float
+    demand_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValidationError("client name must be a non-empty string")
+        check_positive(self.weight, "weight")
+        check_positive(self.demand_scale, "demand_scale")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of one open-system scenario.
+
+    Attributes
+    ----------
+    model:
+        Inter-arrival model: ``"poisson"`` (exponential gaps),
+        ``"constant"`` (fixed gaps), or ``"uniform"`` (gaps uniform on
+        ``[0, 2·mean]`` — same mean, bursty).
+    items:
+        Number of items to emit.
+    mean_interarrival:
+        Mean gap between arrivals, in seconds.
+    demand_mean:
+        Mean per-item demand, in consumer cycles.
+    demand_spread:
+        Relative half-width of the uniform demand noise: each base
+        demand is ``demand_mean · U[1−s, 1+s]``; 0 = deterministic.
+        Must be < 1 so demands stay positive.
+    long_task_fraction:
+        Probability that an item is a *long task* (absim's knob).
+    long_task_factor:
+        Demand multiplier applied to long tasks.
+    clients:
+        Optional heterogeneous client mix; items are assigned by
+        weighted choice and scaled by the class's ``demand_scale``.
+        Empty = one homogeneous client.
+    stage_scales:
+        Per-stage demand multipliers: ``generate`` emits a
+        ``(len(stage_scales), items)`` demand matrix for
+        :func:`~repro.simulation.chain.replay_chain`; the default is a
+        single stage.
+    """
+
+    model: str = "poisson"
+    items: int = 10_000
+    mean_interarrival: float = 1.0
+    demand_mean: float = 1.0
+    demand_spread: float = 0.0
+    long_task_fraction: float = 0.0
+    long_task_factor: float = 10.0
+    clients: tuple[ClientProfile, ...] = ()
+    stage_scales: tuple[float, ...] = (1.0,)
+
+    def __post_init__(self) -> None:
+        if self.model not in ARRIVAL_MODELS:
+            raise ValidationError(
+                f"unknown arrival model {self.model!r} "
+                f"(known: {', '.join(ARRIVAL_MODELS)})"
+            )
+        check_integer(self.items, "items", minimum=1)
+        check_positive(self.mean_interarrival, "mean_interarrival")
+        check_positive(self.demand_mean, "demand_mean")
+        if not 0.0 <= self.demand_spread < 1.0:
+            raise ValidationError("demand_spread must be in [0, 1)")
+        if not 0.0 <= self.long_task_fraction <= 1.0:
+            raise ValidationError("long_task_fraction must be in [0, 1]")
+        check_positive(self.long_task_factor, "long_task_factor")
+        if not self.stage_scales:
+            raise ValidationError("stage_scales needs at least one stage")
+        for scale in self.stage_scales:
+            check_positive(scale, "stage_scale")
+
+    @property
+    def stages(self) -> int:
+        """Number of demand rows :meth:`generate` emits."""
+        return len(self.stage_scales)
+
+    @property
+    def arrival_rate(self) -> float:
+        """Long-run arrival rate in items per second."""
+        return 1.0 / self.mean_interarrival
+
+    def generate(self, seed: int) -> "GeneratedWorkload":
+        """Draw the scenario's full trace with the given *seed*.
+
+        Vectorized end to end — gap sampling, client assignment, demand
+        noise, and the long-task mask are each one numpy batch call —
+        and byte-deterministic in *seed* (PCG64 with a fixed draw
+        order).
+        """
+        seed = check_integer(seed, "seed", minimum=0)
+        rng = np.random.default_rng(seed)
+        n = self.items
+        with tracer.span(
+            "sim.workload.generate", model=self.model, items=n, stages=self.stages
+        ):
+            if self.model == "poisson":
+                gaps = rng.exponential(self.mean_interarrival, n)
+            elif self.model == "uniform":
+                gaps = rng.uniform(0.0, 2.0 * self.mean_interarrival, n)
+            else:  # constant
+                gaps = np.full(n, self.mean_interarrival)
+            arrivals = np.cumsum(gaps)
+
+            if self.clients:
+                weights = np.array([c.weight for c in self.clients])
+                client_index = rng.choice(
+                    len(self.clients), size=n, p=weights / weights.sum()
+                )
+                scales = np.array([c.demand_scale for c in self.clients])[
+                    client_index
+                ]
+            else:
+                client_index = np.zeros(n, dtype=np.int64)
+                scales = 1.0
+
+            if self.demand_spread > 0.0:
+                noise = rng.uniform(
+                    1.0 - self.demand_spread, 1.0 + self.demand_spread, n
+                )
+            else:
+                noise = 1.0
+            base = np.broadcast_to(
+                np.asarray(self.demand_mean * scales * noise, dtype=float), (n,)
+            )
+
+            if self.long_task_fraction > 0.0:
+                is_long = rng.random(n) < self.long_task_fraction
+                base = np.where(is_long, base * self.long_task_factor, base)
+            else:
+                is_long = np.zeros(n, dtype=bool)
+
+            demands = np.asarray(self.stage_scales)[:, np.newaxis] * base
+            registry.counter("sim.workload.items", model=self.model).inc(n)
+        return GeneratedWorkload(
+            spec=self,
+            seed=seed,
+            arrivals=arrivals,
+            demands=demands,
+            client_index=client_index,
+            is_long=is_long,
+        )
+
+
+@dataclass(frozen=True)
+class GeneratedWorkload:
+    """One generated open-system trace, ready for simulation or analysis.
+
+    Attributes
+    ----------
+    spec:
+        The :class:`WorkloadSpec` that produced the trace.
+    seed:
+        The seed it was drawn with.
+    arrivals:
+        ``(items,)`` non-decreasing arrival times in seconds.
+    demands:
+        ``(stages, items)`` per-stage cycle demands — feed it to
+        :func:`~repro.simulation.chain.replay_chain` as-is, or a single
+        row to the two-PE pipeline.
+    client_index:
+        ``(items,)`` index into ``spec.clients`` (all zeros for a
+        homogeneous mix).
+    is_long:
+        ``(items,)`` long-task mask.
+    """
+
+    spec: WorkloadSpec
+    seed: int
+    arrivals: np.ndarray
+    demands: np.ndarray
+    client_index: np.ndarray = field(repr=False, default=None)
+    is_long: np.ndarray = field(repr=False, default=None)
+
+    @property
+    def items(self) -> int:
+        """Number of items in the trace."""
+        return int(self.arrivals.size)
+
+    def stage_demands(self, stage: int = 0) -> np.ndarray:
+        """The demand row of one *stage* (0-based, flow order)."""
+        stage = check_integer(stage, "stage", minimum=0)
+        if stage >= self.demands.shape[0]:
+            raise ValidationError(
+                f"stage {stage} out of range (chain has {self.demands.shape[0]})"
+            )
+        return self.demands[stage]
+
+    def demand_chunks(self, chunk_size: int, *, stage: int = 0):
+        """Yield one stage's demands in consecutive chunks.
+
+        The bounded-memory feed for
+        :meth:`~repro.core.workload.WorkloadCurve.from_demand_stream`
+        (pass ``total=workload.items`` alongside).
+        """
+        chunk_size = check_integer(chunk_size, "chunk_size", minimum=1)
+        row = self.stage_demands(stage)
+        for start in range(0, row.size, chunk_size):
+            yield row[start : start + chunk_size]
+
+    def utilization(self, frequency: float, *, stage: int = 0) -> float:
+        """Offered long-run load of one *stage* at *frequency* (Hz)."""
+        check_positive(frequency, "frequency")
+        span = float(self.arrivals[-1]) if self.arrivals[-1] > 0 else 1.0
+        return float(self.stage_demands(stage).sum()) / (frequency * span)
+
+
+def generate_workload(spec: WorkloadSpec, *, seed: int) -> GeneratedWorkload:
+    """Functional alias for :meth:`WorkloadSpec.generate` (runner tasks
+    pickle module-level callables by reference)."""
+    return spec.generate(seed)
+
+
+def scenario_grid(
+    base: WorkloadSpec, axes: dict[str, list], *, base_seed: int = 0
+) -> list[tuple[WorkloadSpec, int]]:
+    """Cross-product scenario grid with derived per-point seeds.
+
+    *axes* maps :class:`WorkloadSpec` field names to candidate values;
+    the cartesian product is enumerated in a deterministic order (axes
+    key-sorted, values in given order) and each point gets
+    ``derive_seed(base_seed, index)`` — the same chunking-independent
+    fold the parallel runner applies, so a grid fanned out over
+    :func:`repro.runner.run_many` draws identical traces no matter how
+    the points are scheduled.  Returns ``(spec, seed)`` pairs.
+    """
+    names = sorted(axes)
+    for name in names:
+        if name not in WorkloadSpec.__dataclass_fields__:
+            raise ValidationError(f"unknown WorkloadSpec field {name!r}")
+        if not axes[name]:
+            raise ValidationError(f"axis {name!r} has no values")
+    points: list[tuple[WorkloadSpec, int]] = []
+    shape = [len(axes[name]) for name in names]
+    total = int(np.prod(shape)) if names else 1
+    for index in range(total):
+        remainder = index
+        overrides = {}
+        for name, size in zip(reversed(names), reversed(shape)):
+            overrides[name] = axes[name][remainder % size]
+            remainder //= size
+        points.append(
+            (replace(base, **overrides), derive_seed(base_seed, index))
+        )
+    return points

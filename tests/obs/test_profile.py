@@ -18,6 +18,7 @@ from repro.obs.profile import (
     prometheus_text,
     read_trace_jsonl,
     service_breakdown,
+    simulation_breakdown,
     write_collapsed,
     write_profile,
 )
@@ -270,6 +271,36 @@ class TestServiceBreakdown:
         assert service["admission"]["capacity"] is None
 
 
+class TestSimulationBreakdown:
+    def test_groups_chain_fifo_and_workload_series(self):
+        reg = MetricsRegistry()
+        reg.counter("sim.chain.runs", impl="replay").inc(2)
+        reg.counter("sim.chain.runs", impl="event-driven").inc(1)
+        reg.counter("sim.chain.items", impl="replay").inc(600)
+        reg.gauge("sim.chain.high_water", stage=0).set_max(7)
+        reg.gauge("sim.chain.high_water", stage=1).set_max(3)
+        reg.counter("sim.chain.overflows", stage=0).inc(4)
+        reg.counter("sim.chain.busy_seconds", stage=1).add(2.5)
+        reg.gauge("sim.fifo.high_water", fifo="input").set_max(9)
+        reg.counter("sim.fifo.pushed", fifo="input").inc(100)
+        reg.counter("sim.workload.items", model="poisson").inc(512)
+        sim = simulation_breakdown(reg.snapshot())
+        assert sim["chain"]["runs"] == {"replay": 2, "event-driven": 1}
+        assert sim["chain"]["item_stages"] == {"replay": 600}
+        assert sim["chain"]["stages"]["0"]["high_water"] == 7
+        assert sim["chain"]["stages"]["0"]["overflows"] == 4
+        assert sim["chain"]["stages"]["1"]["busy_seconds"] == 2.5
+        assert sim["fifos"]["input"] == {"high_water": 9, "pushed": 100}
+        assert sim["workload_items"] == {"poisson": 512}
+
+    def test_empty_snapshot_is_empty(self):
+        sim = simulation_breakdown(MetricsRegistry().snapshot())
+        assert sim["chain"]["runs"] == {}
+        assert sim["chain"]["stages"] == {}
+        assert sim["fifos"] == {}
+        assert sim["workload_items"] == {}
+
+
 class TestProfileReport:
     def test_schema_and_sections(self, tmp_path):
         records = [_span("k", 0.0, 0.5, 0)]
@@ -279,7 +310,7 @@ class TestProfileReport:
         assert report["schema"] == PROFILE_SCHEMA
         assert set(report) == {
             "schema", "trace", "stacks", "dispatch", "cache", "service",
-            "quantiles",
+            "simulation", "quantiles",
         }
         path = tmp_path / "profile.json"
         write_profile(report, path)

@@ -1,0 +1,276 @@
+"""Conformance and property tests for the N-stage tandem chain.
+
+The vectorized max-plus replay and the event-driven oracle are
+independent implementations of the same semantics and must agree.  On
+*dyadic* inputs (times and demands exact in float64) the agreement is
+required to be **bitwise** — identical departure matrices, identical
+per-stage statistics — including on adversarial tie-heavy traces where
+many completions and arrivals share a timestamp.  On continuous floats
+the completion times may differ only by accumulated rounding (checked
+with a tight relative tolerance) while every integer statistic stays
+exactly equal.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.chain import replay_chain, simulate_chain
+from repro.simulation.pipeline import replay_pipeline
+from repro.util.validation import ValidationError
+
+
+def _dyadic_trace(rng, items, stages):
+    """Arrivals/demands exact in float64: gaps n/4, demands n/16."""
+    arrivals = np.cumsum(rng.integers(0, 8, items) / 4.0)
+    demands = rng.integers(1, 64, (stages, items)) / 16.0
+    return arrivals, demands
+
+
+def _assert_bitwise_equal(a, b):
+    assert np.array_equal(a.departures, b.departures)
+    assert a.stage_stats == b.stage_stats
+
+
+class TestValidation:
+    def test_demand_items_mismatch(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([0.0]), np.ones((2, 3)), 1.0)
+
+    def test_empty(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([]), np.empty((1, 0)), 1.0)
+
+    def test_decreasing_arrivals(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([1.0, 0.5]), np.ones((1, 2)), 1.0)
+
+    def test_nonpositive_demand(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([0.0, 1.0]), np.zeros((1, 2)), 1.0)
+
+    def test_frequency_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([0.0]), np.ones((2, 1)), [1.0, 2.0, 3.0])
+
+    def test_nonpositive_frequency(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([0.0]), np.ones((1, 1)), 0.0)
+
+    def test_capacity_count_mismatch(self):
+        with pytest.raises(ValidationError):
+            replay_chain(
+                np.array([0.0]), np.ones((2, 1)), 1.0, capacities=[3]
+            )
+
+    def test_capacity_below_one(self):
+        with pytest.raises(ValidationError):
+            replay_chain(np.array([0.0]), np.ones((1, 1)), 1.0, capacities=0)
+
+
+class TestSingleStage:
+    def test_matches_replay_pipeline(self):
+        rng = np.random.default_rng(3)
+        arrivals, demands = _dyadic_trace(rng, 200, 1)
+        chain = replay_chain(arrivals, demands, 2.0, capacities=4)
+        pipe = replay_pipeline(arrivals, demands[0], 2.0, capacity=4)
+        assert np.array_equal(chain.completion_times, pipe.completion_times)
+        assert chain.max_backlogs[0] == pipe.max_backlog
+        assert chain.stage_stats[0].overflow_count == pipe.overflow_count
+        assert chain.overflowed == pipe.overflowed
+
+    def test_one_d_demands_promote_to_single_stage(self):
+        r = replay_chain(np.array([0.0, 1.0]), np.array([2.0, 2.0]), 1.0)
+        assert r.stages == 1
+        assert r.departures.shape == (1, 2)
+
+
+class TestKnownScenarios:
+    def test_two_stage_hand_off(self):
+        # one item: done at stage 0 at 1+2/2=2, stage 1 at 2+3/3=3
+        r = replay_chain(
+            np.array([1.0]), np.array([[2.0], [3.0]]), [2.0, 3.0]
+        )
+        assert r.departures[0, 0] == pytest.approx(2.0)
+        assert r.makespan == pytest.approx(3.0)
+
+    def test_slow_downstream_stage_backs_up(self):
+        arrivals = np.arange(8, dtype=float)
+        demands = np.vstack([np.full(8, 0.5), np.full(8, 2.0)])
+        r = replay_chain(arrivals, demands, 1.0)
+        assert r.max_backlogs[0] == 1
+        assert r.max_backlogs[1] > 1
+
+    def test_departures_feed_next_stage(self):
+        rng = np.random.default_rng(1)
+        arrivals, demands = _dyadic_trace(rng, 100, 3)
+        r = replay_chain(arrivals, demands, [2.0, 1.0, 4.0])
+        # a stage can't finish an item before the upstream released it
+        assert np.all(r.departures[1] >= r.departures[0])
+        assert np.all(r.departures[2] >= r.departures[1])
+        # per-row completion times are strictly increasing (FIFO order)
+        for row in r.departures:
+            assert np.all(np.diff(row) > 0)
+
+    def test_makespan_and_completion_properties(self):
+        r = replay_chain(np.array([0.0, 1.0]), np.ones((2, 2)), 1.0)
+        assert r.stages == 2
+        assert r.completion_times is r.departures[-1] or np.array_equal(
+            r.completion_times, r.departures[-1]
+        )
+        assert r.makespan == float(r.departures[-1, -1])
+
+
+class TestConformance:
+    """Replay vs. event-driven oracle: bitwise on dyadic inputs."""
+
+    def test_bitwise_on_random_dyadic_topologies(self):
+        rng = np.random.default_rng(42)
+        for _ in range(15):
+            stages = int(rng.integers(1, 5))
+            items = int(rng.integers(1, 120))
+            arrivals, demands = _dyadic_trace(rng, items, stages)
+            freqs = 2.0 ** rng.integers(-1, 3, stages)
+            caps = [
+                None if rng.random() < 0.3 else int(rng.integers(1, 8))
+                for _ in range(stages)
+            ]
+            a = simulate_chain(arrivals, demands, freqs, capacities=caps)
+            b = replay_chain(arrivals, demands, freqs, capacities=caps)
+            _assert_bitwise_equal(a, b)
+
+    def test_bitwise_on_equal_time_burst(self):
+        # everything arrives at t=0 with identical demands: every
+        # completion ties with every waiting arrival at each stage
+        items, stages = 64, 3
+        arrivals = np.zeros(items)
+        demands = np.full((stages, items), 1.0)
+        a = simulate_chain(arrivals, demands, 1.0, capacities=[8, None, 4])
+        b = replay_chain(arrivals, demands, 1.0, capacities=[8, None, 4])
+        _assert_bitwise_equal(a, b)
+        assert a.max_backlogs[0] == items
+
+    def test_bitwise_on_synchronized_stage_rates(self):
+        # equal service times across stages: stage k's hand-offs land at
+        # the exact instants stage k+1 completes — maximal tie pressure
+        # on the inter-stage hand-off ordering
+        rng = np.random.default_rng(9)
+        items = 80
+        arrivals = np.cumsum(rng.integers(0, 2, items) / 2.0)
+        demands = np.full((3, items), 0.5)
+        a = simulate_chain(arrivals, demands, 1.0, capacities=2)
+        b = replay_chain(arrivals, demands, 1.0, capacities=2)
+        _assert_bitwise_equal(a, b)
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(
+            st.integers(min_value=0, max_value=8), min_size=1, max_size=50
+        ),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_bitwise_on_hypothesis_dyadic(self, stages, quarter_gaps, data):
+        items = len(quarter_gaps)
+        arrivals = np.cumsum(np.array(quarter_gaps) / 4.0)
+        demands = (
+            np.array(
+                data.draw(
+                    st.lists(
+                        st.lists(
+                            st.integers(min_value=1, max_value=64),
+                            min_size=items,
+                            max_size=items,
+                        ),
+                        min_size=stages,
+                        max_size=stages,
+                    )
+                )
+            )
+            / 16.0
+        )
+        freqs = [
+            2.0 ** data.draw(st.integers(min_value=-1, max_value=3))
+            for _ in range(stages)
+        ]
+        caps = data.draw(
+            st.one_of(
+                st.none(),
+                st.integers(min_value=1, max_value=6),
+                st.lists(
+                    st.one_of(st.none(), st.integers(min_value=1, max_value=6)),
+                    min_size=stages,
+                    max_size=stages,
+                ),
+            )
+        )
+        a = simulate_chain(arrivals, demands, freqs, capacities=caps)
+        b = replay_chain(arrivals, demands, freqs, capacities=caps)
+        _assert_bitwise_equal(a, b)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=40
+        ),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_continuous_floats_agree_within_rounding(self, gaps, data):
+        items = len(gaps)
+        stages = data.draw(st.integers(min_value=1, max_value=3))
+        arrivals = np.cumsum(np.array(gaps))
+        demands = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.floats(min_value=0.05, max_value=3.0),
+                        min_size=items,
+                        max_size=items,
+                    ),
+                    min_size=stages,
+                    max_size=stages,
+                )
+            )
+        )
+        freqs = [
+            data.draw(st.floats(min_value=0.5, max_value=5.0))
+            for _ in range(stages)
+        ]
+        a = simulate_chain(arrivals, demands, freqs, capacities=5)
+        b = replay_chain(arrivals, demands, freqs, capacities=5)
+        assert np.allclose(a.departures, b.departures, rtol=1e-9)
+        assert a.max_backlogs == b.max_backlogs
+        assert [s.overflow_count for s in a.stage_stats] == [
+            s.overflow_count for s in b.stage_stats
+        ]
+
+
+class TestPublishedMetrics:
+    def _series_value(self, name, **labels):
+        from repro.obs.metrics import registry
+
+        for series in registry.series(name):
+            if series.labels == labels:
+                return series.value
+        return None
+
+    def test_both_implementations_publish_chain_family(self):
+        from repro.obs.metrics import registry
+
+        registry.reset(prefix="sim.")
+        arrivals = np.zeros(6)
+        demands = np.ones((2, 6))
+        r = replay_chain(arrivals, demands, 1.0, capacities=[3, None])
+        simulate_chain(arrivals, demands, 1.0, capacities=[3, None])
+        assert self._series_value("sim.chain.runs", impl="replay") == 1
+        assert self._series_value("sim.chain.runs", impl="event-driven") == 1
+        assert self._series_value("sim.chain.items", impl="replay") == 12
+        for k in range(2):
+            high = self._series_value("sim.chain.high_water", stage=k)
+            assert high == r.max_backlogs[k]
+        assert (
+            self._series_value("sim.chain.overflows", stage=0)
+            == 2 * r.stage_stats[0].overflow_count
+        )
+        registry.reset(prefix="sim.")

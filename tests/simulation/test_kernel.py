@@ -1,5 +1,6 @@
 """Unit tests for the discrete-event kernel."""
 
+import numpy as np
 import pytest
 
 from repro.simulation.kernel import Simulator
@@ -77,3 +78,106 @@ class TestScheduling:
         assert sim.pending == 2
         sim.run()
         assert sim.pending == 0
+
+
+class TestScheduleSorted:
+    def test_fires_every_index_in_order(self):
+        sim = Simulator()
+        log = []
+        n = sim.schedule_sorted([1.0, 2.0, 2.0, 5.0], lambda i: log.append((sim.now, i)))
+        assert n == 4
+        sim.run()
+        assert log == [(1.0, 0), (2.0, 1), (2.0, 2), (5.0, 3)]
+
+    def test_start_index_offsets_the_callback(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_sorted([1.0, 2.0], log.append, start_index=10)
+        sim.run()
+        assert log == [10, 11]
+
+    def test_empty_batch_is_a_noop(self):
+        sim = Simulator()
+        assert sim.schedule_sorted([], lambda i: None) == 0
+        assert sim.pending == 0
+
+    def test_pending_counts_the_whole_batch(self):
+        sim = Simulator()
+        sim.schedule_sorted([1.0, 2.0, 3.0], lambda i: None)
+        assert sim.pending == 3
+        sim.run(until=1.5)
+        assert sim.pending == 2
+        sim.run()
+        assert sim.pending == 0
+
+    def test_tie_break_matches_eager_loading(self):
+        # a batch reserves its sequence range up front: events scheduled
+        # AFTER the call run after the batch's same-time events, exactly
+        # as if the batch had been loaded with n schedule() calls
+        sim = Simulator()
+        log = []
+        sim.schedule_sorted([1.0, 1.0], lambda i: log.append(f"batch{i}"))
+        sim.schedule(1.0, lambda: log.append("late"))
+        sim.schedule(1.0, lambda: log.append("release"), priority=-1)
+        sim.run()
+        assert log == ["release", "batch0", "batch1", "late"]
+
+    def test_interleaves_with_dynamic_events(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_sorted([1.0, 3.0], lambda i: log.append(("batch", i)))
+
+        def dynamic():
+            log.append(("dyn", sim.now))
+            if sim.now < 3.0:
+                sim.schedule_in(2.0, dynamic)
+
+        sim.schedule(2.0, dynamic)
+        sim.run()
+        assert log == [("batch", 0), ("dyn", 2.0), ("batch", 1), ("dyn", 4.0)]
+
+    def test_two_batches_interleave_by_time(self):
+        sim = Simulator()
+        log = []
+        sim.schedule_sorted([1.0, 4.0], lambda i: log.append(("a", i)))
+        sim.schedule_sorted([2.0, 3.0], lambda i: log.append(("b", i)))
+        sim.run()
+        assert log == [("a", 0), ("b", 0), ("b", 1), ("a", 1)]
+
+    def test_rejects_unsorted_times(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError, match="non-decreasing"):
+            sim.schedule_sorted([2.0, 1.0], lambda i: None)
+
+    def test_rejects_nan_and_inf(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError):
+            sim.schedule_sorted([float("nan"), 1.0], lambda i: None)
+        with pytest.raises(ValidationError, match="finite"):
+            sim.schedule_sorted([1.0, float("inf")], lambda i: None)
+
+    def test_rejects_2d_input(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError, match="1-D"):
+            sim.schedule_sorted(np.zeros((2, 2)), lambda i: None)
+
+    def test_rejects_times_before_now(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValidationError, match="after now"):
+            sim.schedule_sorted([1.0, 6.0], lambda i: None)
+
+    def test_rejects_negative_times(self):
+        sim = Simulator()
+        with pytest.raises(ValidationError):
+            sim.schedule_sorted([-1.0, 1.0], lambda i: None)
+
+    def test_large_batch_drains_completely(self):
+        sim = Simulator()
+        times = np.cumsum(np.random.default_rng(0).exponential(1.0, 5000))
+        seen = []
+        sim.schedule_sorted(times, seen.append)
+        sim.run()
+        assert seen == list(range(5000))
+        assert sim.now == pytest.approx(times[-1])

@@ -95,6 +95,49 @@ class TestCrossValidation:
         assert np.allclose(a.completion_times, b.completion_times)
 
 
+class TestOverflowSemantics:
+    """Both implementations must report overflow with identical semantics:
+    an overflow is an *arrival* that finds the buffer already at capacity,
+    so a run that exactly fills the buffer is not an overflow."""
+
+    def test_exactly_at_capacity_is_not_an_overflow(self):
+        # 5 simultaneous arrivals into a capacity-5 buffer: full, legal
+        arrivals = np.zeros(5)
+        demands = np.ones(5)
+        for run in (simulate_pipeline, replay_pipeline):
+            r = run(arrivals, demands, 1.0, capacity=5)
+            assert r.max_backlog == 5
+            assert not r.overflowed
+            assert r.overflow_count == 0
+
+    def test_one_past_capacity_overflows_in_both(self):
+        arrivals = np.zeros(6)
+        demands = np.ones(6)
+        a = simulate_pipeline(arrivals, demands, 1.0, capacity=5)
+        b = replay_pipeline(arrivals, demands, 1.0, capacity=5)
+        assert a.overflowed and b.overflowed
+        assert a.overflow_count == b.overflow_count == 1
+        assert a.max_backlog == b.max_backlog == 6
+
+    def test_overflow_counts_agree_on_random_traces(self):
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            n = int(rng.integers(5, 60))
+            arrivals = np.cumsum(rng.integers(0, 3, n) / 4.0)
+            demands = rng.integers(1, 32, n) / 16.0
+            cap = int(rng.integers(1, 6))
+            a = simulate_pipeline(arrivals, demands, 2.0, capacity=cap)
+            b = replay_pipeline(arrivals, demands, 2.0, capacity=cap)
+            assert a.overflow_count == b.overflow_count
+            assert a.overflowed == b.overflowed
+            assert a.overflowed == (a.max_backlog > cap)
+
+    def test_unbounded_never_overflows(self):
+        r = replay_pipeline(np.zeros(8), np.ones(8), 1.0)
+        assert not r.overflowed
+        assert r.overflow_count == 0
+
+
 class TestWorkConservation:
     def test_completion_times_work_conserving(self):
         rng = np.random.default_rng(2)
